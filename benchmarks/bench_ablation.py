@@ -1,0 +1,13 @@
+"""A1 -- design-choice ablations (extension).
+
+PNS, zone-mapping rotation, subscheme splitting and the
+direct-rendezvous radius R, each isolated per DESIGN.md section 6.
+"""
+
+from repro.experiments import ablation
+
+
+def test_design_ablations(benchmark):
+    result = benchmark.pedantic(ablation.run, rounds=1, iterations=1)
+    print("\n" + result.render())
+    assert result.report.all_passed, result.report.render()

@@ -1,0 +1,13 @@
+"""B1 -- HyperSub vs Meghdoot vs central rendezvous (extension).
+
+All three systems run on the same topology, workload stream and byte
+model; the checks encode the paper's Section 2 arguments.
+"""
+
+from repro.experiments import baseline_cmp
+
+
+def test_baseline_comparison(benchmark):
+    result = benchmark.pedantic(baseline_cmp.run, rounds=1, iterations=1)
+    print("\n" + result.render())
+    assert result.report.all_passed, result.report.render()

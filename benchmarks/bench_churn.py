@@ -1,0 +1,21 @@
+"""C1 -- delivery under churn (paper future work, implemented).
+
+Crash-stop failures during the event phase with Chord maintenance
+running; delivery must degrade gracefully, not collapse.
+"""
+
+import os
+
+from repro.experiments import churn
+
+
+def test_churn_delivery_ratio(benchmark):
+    if os.environ.get("REPRO_SCALE") == "paper":
+        kwargs = {"num_nodes": 1000, "num_events": 1000, "seeds": (1, 2, 3, 4, 5)}
+    else:
+        # 3 seeds x 2 arms x 4 fractions = 24 runs; enough to smooth the
+        # bimodal loss distribution while keeping the suite fast.
+        kwargs = {"num_nodes": 200, "num_events": 200, "seeds": (1, 2, 3)}
+    result = benchmark.pedantic(churn.run, kwargs=kwargs, rounds=1, iterations=1)
+    print("\n" + result.render())
+    assert result.report.all_passed, result.report.render()

@@ -1,0 +1,14 @@
+"""D1 -- drifting data distribution (paper Section 6, implemented).
+
+The subscription hotspot moves across the content space over time;
+periodic migration must keep the peak load bounded where a one-shot
+balancing pass goes stale.
+"""
+
+from repro.experiments import dynamic
+
+
+def test_drifting_hotspot(benchmark):
+    result = benchmark.pedantic(dynamic.run, rounds=1, iterations=1)
+    print("\n" + result.render())
+    assert result.report.all_passed, result.report.render()

@@ -1,0 +1,14 @@
+"""Figure 2 -- event distribution over matched %, hops, latency, bandwidth.
+
+Regenerates all four curves for the paper's four configurations
+(base 2 / base 4 x LB on/off) and asserts the qualitative findings:
+larger base wins on hops/latency/bandwidth; LB costs a little on each.
+"""
+
+from repro.experiments import fig2
+
+
+def test_fig2_delivery_curves(benchmark):
+    result = benchmark.pedantic(fig2.run, rounds=1, iterations=1)
+    print("\n" + result.render())
+    assert result.report.all_passed, result.report.render()

@@ -1,0 +1,14 @@
+"""Figure 3 -- per-node in/out bandwidth distribution.
+
+Regenerates both CDFs for the four configurations (cached runs shared
+with Figure 2) and asserts the load-balancing findings: migration
+relieves the overloaded surrogate; the no-LB tail is heavy.
+"""
+
+from repro.experiments import fig3
+
+
+def test_fig3_bandwidth_curves(benchmark):
+    result = benchmark.pedantic(fig3.run, rounds=1, iterations=1)
+    print("\n" + result.render())
+    assert result.report.all_passed, result.report.render()

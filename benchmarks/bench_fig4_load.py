@@ -1,0 +1,14 @@
+"""Figure 4 -- load distribution on nodes (ranked, first 100).
+
+Regenerates the ranked-load curves (cached runs shared with Figure 2)
+and asserts: migration cuts the max load severalfold; base 4 is at
+least as imbalanced as base 2; no-LB load is steeply skewed.
+"""
+
+from repro.experiments import fig4
+
+
+def test_fig4_load_curves(benchmark):
+    result = benchmark.pedantic(fig4.run, rounds=1, iterations=1)
+    print("\n" + result.render())
+    assert result.report.all_passed, result.report.render()

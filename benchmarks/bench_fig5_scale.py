@@ -1,0 +1,16 @@
+"""Figure 5 -- performance vs network size (the scalability sweep).
+
+Regenerates all four panels for LB on/off.  Default sweep: 500-4000
+nodes (REPRO_SCALE=paper uses the paper's 2k-16k); the growth-rate
+checks are size-relative, so the scaled sweep validates the same
+shapes: hops/latency grow ~logarithmically, bytes-per-delivery stay
+nearly flat, matched counts grow with the subscription population.
+"""
+
+from repro.experiments import fig5
+
+
+def test_fig5_scalability(benchmark):
+    result = benchmark.pedantic(fig5.run, rounds=1, iterations=1)
+    print("\n" + result.render())
+    assert result.report.all_passed, result.report.render()

@@ -1,0 +1,10 @@
+"""H1 -- load balancing under heterogeneous capacities (the evaluation
+the paper's Section 5.2 defers to future work)."""
+
+from repro.experiments import heterogeneous
+
+
+def test_heterogeneous_capacities(benchmark):
+    result = benchmark.pedantic(heterogeneous.run, rounds=1, iterations=1)
+    print("\n" + result.render())
+    assert result.report.all_passed, result.report.render()

@@ -1,0 +1,10 @@
+"""I1 -- subscription installation cost over the fully simulated path
+(Algorithm 2 + the summary-filter cascade's own lookups)."""
+
+from repro.experiments import install_cost
+
+
+def test_installation_cost(benchmark):
+    result = benchmark.pedantic(install_cost.run, rounds=1, iterations=1)
+    print("\n" + result.render())
+    assert result.report.all_passed, result.report.render()

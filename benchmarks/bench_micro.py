@@ -1,0 +1,170 @@
+"""Micro-benchmarks of the hot paths (proper multi-round timings).
+
+These are the operations the discrete-event runs execute millions of
+times; regressions here multiply directly into experiment wall time.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.lph import lph_box, lph_point
+from repro.core.matching import BoxStore
+from repro.core.subscription import SubID
+from repro.core.zones import ZoneGeometry
+from repro.dht.chord import build_chord_overlay
+from repro.sim.engine import Simulator
+from repro.sim.network import Network
+from repro.sim.topology import ConstantTopology, KingLikeTopology
+
+
+def test_engine_event_throughput(benchmark):
+    """Scheduler throughput: schedule+dispatch of chained callbacks."""
+
+    def run():
+        sim = Simulator()
+        remaining = [5000]
+
+        def tick():
+            remaining[0] -= 1
+            if remaining[0] > 0:
+                sim.schedule(1.0, tick)
+
+        sim.schedule(0.0, tick)
+        sim.run()
+
+    benchmark(run)
+
+
+def test_boxstore_match_1000_boxes(benchmark):
+    store = BoxStore(4)
+    rng = np.random.default_rng(0)
+    for i in range(1000):
+        lo = rng.uniform(0, 9000, 4)
+        store.put(SubID(i, 1), lo, lo + rng.uniform(10, 1000, 4))
+    points = rng.uniform(0, 10000, (100, 4))
+
+    def run():
+        total = 0
+        for p in points:
+            total += len(store.match_point(p))
+        return total
+
+    benchmark(run)
+
+
+def test_lph_point_hashing(benchmark):
+    g = ZoneGeometry(base=2, code_bits=20)
+    dom_lo = np.zeros(4)
+    dom_hi = np.full(4, 10_000.0)
+    rng = np.random.default_rng(1)
+    points = rng.uniform(0, 10_000, (200, 4))
+
+    def run():
+        for p in points:
+            lph_point(p, dom_lo, dom_hi, g)
+
+    benchmark(run)
+
+
+def test_lph_box_hashing(benchmark):
+    g = ZoneGeometry(base=2, code_bits=20)
+    dom_lo = np.zeros(4)
+    dom_hi = np.full(4, 10_000.0)
+    rng = np.random.default_rng(2)
+    boxes = []
+    for _ in range(200):
+        lo = rng.uniform(0, 9000, 4)
+        boxes.append((lo, lo + rng.uniform(1, 900, 4)))
+
+    def run():
+        for lo, hi in boxes:
+            lph_box(lo, hi, dom_lo, dom_hi, g)
+
+    benchmark(run)
+
+
+def test_chord_next_hop_routing(benchmark):
+    sim = Simulator()
+    net = Network(sim, ConstantTopology(1000, rtt=100.0))
+    nodes, ring = build_chord_overlay(net, seed=4)
+    rng = random.Random(0)
+    keys = [rng.getrandbits(64) for _ in range(200)]
+
+    def run():
+        hops = 0
+        for key in keys:
+            cur = nodes[0]
+            while True:
+                nh = cur.next_hop_addr(key)
+                if nh is None:
+                    break
+                cur = nodes[nh]
+                hops += 1
+        return hops
+
+    benchmark(run)
+
+
+def test_chord_overlay_build_1000_nodes_pns(benchmark):
+    topo = KingLikeTopology(1000, seed=5)
+
+    def run():
+        sim = Simulator()
+        net = Network(sim, topo)
+        build_chord_overlay(net, seed=5, pns=True)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_king_topology_rtt_queries(benchmark):
+    topo = KingLikeTopology(2000, seed=6)
+    idx = np.arange(0, 2000, 2)
+
+    def run():
+        for a in range(0, 200, 10):
+            topo.rtt_many(a, idx)
+
+    benchmark(run)
+
+
+def test_grid_index_match_10k_boxes(benchmark):
+    """The indexed counterpart of the 1000-box linear benchmark, at 10x
+    the store size -- where the spatial hash pays for itself."""
+    from repro.core.indexing import GridIndex
+
+    store = GridIndex(
+        4, np.zeros(4), np.full(4, 10_000.0), cells_per_dim=32
+    )
+    rng = np.random.default_rng(3)
+    for i in range(10_000):
+        lo = rng.uniform(0, 9000, 4)
+        store.put(SubID(i, 1), lo, lo + rng.uniform(10, 500, 4))
+    points = rng.uniform(0, 10_000, (100, 4))
+
+    def run():
+        total = 0
+        for p in points:
+            total += len(store.match_point(p))
+        return total
+
+    benchmark(run)
+
+
+def test_linear_store_match_10k_boxes(benchmark):
+    """Baseline for the grid-index benchmark above."""
+    store = BoxStore(4)
+    rng = np.random.default_rng(3)
+    for i in range(10_000):
+        lo = rng.uniform(0, 9000, 4)
+        store.put(SubID(i, 1), lo, lo + rng.uniform(10, 500, 4))
+    points = rng.uniform(0, 10_000, (100, 4))
+
+    def run():
+        total = 0
+        for p in points:
+            total += len(store.match_point(p))
+        return total
+
+    benchmark(run)

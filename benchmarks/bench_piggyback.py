@@ -1,0 +1,16 @@
+"""P1 -- piggybacked DHT maintenance (paper Section 6, implemented).
+
+Ring state rides on event packets (throttled, pred/succ links only);
+Chord skips the dedicated stabilize/ping RPCs those links would need.
+"""
+
+from repro.experiments import piggyback
+
+
+def test_piggybacked_maintenance(benchmark):
+    result = benchmark.pedantic(
+        piggyback.run, kwargs={"num_nodes": 200, "num_events": 1500},
+        rounds=1, iterations=1,
+    )
+    print("\n" + result.render())
+    assert result.report.all_passed, result.report.render()

@@ -1,0 +1,13 @@
+"""R1 -- delivery under injected message loss: fire-and-forget vs the
+reliable-transport extension (per-hop ack/retransmit + dedup)."""
+
+from repro.experiments import reliability
+
+
+def test_reliability_under_loss(benchmark):
+    result = benchmark.pedantic(
+        reliability.run, kwargs={"num_nodes": 120, "num_events": 120},
+        rounds=1, iterations=1,
+    )
+    print("\n" + result.render())
+    assert result.report.all_passed, result.report.render()

@@ -1,0 +1,21 @@
+"""Table 2 -- simulated networks and average RTTs.
+
+Builds every network size of the paper's scalability sweep and checks
+each mean RTT against the King dataset's ~180 ms.
+"""
+
+import os
+
+from repro.experiments import table2
+
+
+def test_table2_network_rtts(benchmark):
+    if os.environ.get("REPRO_SCALE") == "paper":
+        sizes = [k * 1000 for k in (2, 4, 6, 8, 10, 12, 14, 16)]
+    else:
+        sizes = [2000, 4000, 8000, 16000]
+    result = benchmark.pedantic(
+        table2.run, kwargs={"sizes": sizes}, rounds=1, iterations=1
+    )
+    print("\n" + result.render())
+    assert result.report.all_passed, result.report.render()

@@ -1,0 +1,24 @@
+"""Benchmark-suite configuration.
+
+Scales are controlled by ``REPRO_SCALE`` (quick | bench | default |
+paper); the suite defaults to ``bench`` (600 nodes, 800 events), which
+keeps the whole harness to a few minutes while preserving every
+qualitative result.  ``REPRO_SCALE=paper`` reruns the paper's exact
+sizes (1740 nodes, 20,000 events; Figure 5 sweeps 2k-16k nodes).
+
+Figures 2, 3 and 4 read the same four delivery runs; the in-process
+memo cache in :mod:`repro.experiments.common` makes the later modules
+reuse the first module's runs, so their reported times measure analysis
+over cached runs, not re-simulation.
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _print_scale():
+    from repro.experiments.common import scale_from_env
+
+    nodes, events = scale_from_env()
+    print(f"\n[repro] benchmark scale: {nodes} nodes, {events} events")
+    yield

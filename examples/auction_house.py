@@ -1,0 +1,128 @@
+#!/usr/bin/env python
+"""Multi-scheme auction house: several pub/sub services on ONE overlay.
+
+HyperSub's headline capability: "a scalable platform to simultaneously
+support any numbers of pub/sub schemes with different number of
+attributes".  This example runs three schemes of different
+dimensionality side by side -- auction listings (4 attributes split
+into subschemes, Section 3.5), bid updates (2 attributes) and system
+alerts (1 attribute) -- and shows zone-mapping rotation keeping their
+hot zones on different nodes.
+
+Run:  python examples/auction_house.py
+"""
+
+import numpy as np
+
+from repro.core import (
+    Attribute,
+    Event,
+    HyperSubConfig,
+    HyperSubSystem,
+    Scheme,
+    Subscription,
+)
+from repro.core.subscription import Predicate
+
+
+def main() -> None:
+    system = HyperSubSystem(num_nodes=300, config=HyperSubConfig(seed=11))
+
+    listings = Scheme(
+        "listings",
+        [
+            Attribute("category", 0, 100),
+            Attribute("price", 0, 10_000),
+            Attribute("condition", 0, 10),
+            Attribute("seller_rating", 0, 5),
+        ],
+    )
+    # Buyers usually constrain (category, price) OR (condition, rating),
+    # so split the scheme accordingly -- the Section 3.5 improvement.
+    system.add_scheme(
+        listings,
+        subschemes=[["category", "price"], ["condition", "seller_rating"]],
+    )
+
+    bids = Scheme("bids", [Attribute("item", 0, 100_000), Attribute("amount", 0, 10_000)])
+    system.add_scheme(bids)
+
+    alerts = Scheme("alerts", [Attribute("severity", 0, 10)])
+    system.add_scheme(alerts)
+
+    rng = np.random.default_rng(1)
+
+    # Buyers watch listing categories in their price band.
+    for _ in range(400):
+        addr = int(rng.integers(0, 300))
+        cat = float(rng.integers(0, 95))
+        lo_price = float(rng.uniform(0, 9_000))
+        system.subscribe(
+            addr,
+            Subscription(
+                listings,
+                [
+                    Predicate("category", cat, cat + 5),
+                    Predicate("price", lo_price, lo_price + 1_000),
+                ],
+            ),
+        )
+    # Sellers watch bids on their items.
+    item_watchers = {}
+    for _ in range(200):
+        addr = int(rng.integers(0, 300))
+        item = float(rng.integers(0, 100_000))
+        system.subscribe(
+            addr, Subscription(bids, [Predicate.eq("item", item)])
+        )
+        item_watchers[item] = addr
+    # Everyone watches severe alerts.
+    for addr in range(0, 300, 10):
+        system.subscribe(
+            addr, Subscription(alerts, [Predicate("severity", 7, 10)])
+        )
+    system.finish_setup()
+
+    # Publish a burst of mixed traffic.
+    t = 0.0
+    for _ in range(300):
+        t += float(rng.exponential(30.0))
+        roll = rng.random()
+        if roll < 0.5:
+            ev = Event(
+                listings,
+                {
+                    "category": float(rng.integers(0, 100)),
+                    "price": float(rng.uniform(0, 10_000)),
+                    "condition": float(rng.uniform(0, 10)),
+                    "seller_rating": float(rng.uniform(0, 5)),
+                },
+            )
+        elif roll < 0.9:
+            item = float(rng.choice(list(item_watchers))) if item_watchers else 0.0
+            ev = Event(bids, {"item": item, "amount": float(rng.uniform(1, 10_000))})
+        else:
+            ev = Event(alerts, {"severity": float(rng.uniform(0, 10))})
+        system.schedule_publish(t, int(rng.integers(0, 300)), ev)
+    system.run_until_idle()
+
+    by_scheme = {}
+    for rec in system.metrics.records.values():
+        agg = by_scheme.setdefault(rec.scheme, [0, 0])
+        agg[0] += 1
+        agg[1] += rec.matched
+    print("traffic by scheme (events -> notifications):")
+    for name, (events, matched) in sorted(by_scheme.items()):
+        print(f"  {name:10s}: {events:4d} events -> {matched:5d} notifications")
+
+    loads = system.node_loads()
+    print(
+        f"\nstorage spread over {int((loads > 0).sum())} of {len(loads)} nodes, "
+        f"max {int(loads.max())} entries on one node "
+        f"(rotation keeps the three schemes' zones apart)"
+    )
+    assert len(by_scheme) == 3
+
+
+if __name__ == "__main__":
+    main()

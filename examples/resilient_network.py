@@ -1,0 +1,112 @@
+#!/usr/bin/env python
+"""Fault tolerance end-to-end: failures, self-healing, replication.
+
+A 120-node network loses 12 nodes (including, deliberately, its single
+most-loaded surrogate) while Chord's maintenance repairs the ring.
+Run twice — without and with zone-repository replication — and watch
+the difference in delivered notifications.
+
+Also enables piggybacked maintenance, so the repair traffic partially
+rides on the event stream itself.
+
+Run:  python examples/resilient_network.py
+"""
+
+import numpy as np
+
+from repro.core import (
+    Attribute,
+    Event,
+    HyperSubConfig,
+    HyperSubSystem,
+    Scheme,
+    Subscription,
+)
+
+N = 120
+FAILURES = 12
+
+
+def run_once(replication: int) -> tuple:
+    config = HyperSubConfig(
+        seed=9,
+        replication_factor=replication,
+        piggyback_maintenance=True,
+    )
+    system = HyperSubSystem(num_nodes=N, config=config)
+    scheme = Scheme("alerts", [Attribute(n, 0, 10_000) for n in "abcd"])
+    system.add_scheme(scheme)
+
+    rng = np.random.default_rng(3)
+    installed = []
+    subscriber_of = {}
+    for _ in range(600):
+        lows, highs = [], []
+        for _ in range(4):
+            centre = float(rng.normal(3000, 250) % 10_000)
+            width = float(rng.uniform(50, 500))
+            lows.append(max(0.0, centre - width))
+            highs.append(min(10_000.0, centre + width))
+        sub = Subscription.from_box(scheme, lows, highs)
+        addr = int(rng.integers(0, N))
+        sid = system.subscribe(addr, sub)
+        installed.append((sub, sid))
+        subscriber_of[sid] = addr
+    system.finish_setup()
+
+    for node in system.nodes:
+        node.stabilize_interval_ms = 400.0
+        node.rpc_timeout_ms = 1_200.0
+        node.start_maintenance()
+
+    # Fail the hottest surrogate plus a random dozen.
+    hottest = int(np.argmax(system.node_loads()))
+    victims = {hottest} | {
+        int(v) for v in rng.choice(N, size=FAILURES - 1, replace=False)
+    } - {hottest} | {hottest}
+    for i, v in enumerate(sorted(victims)):
+        system.sim.schedule_at(500.0 + 200.0 * i, system.nodes[v].fail)
+    system.run(until=system.sim.now + 25_000.0)  # let the ring heal
+
+    survivors = [a for a in range(N) if a not in victims]
+    delivered = expected = 0
+    for _ in range(60):
+        pt = rng.normal(3000, 350, 4) % 10_000
+        ev = Event(scheme, list(pt))
+        eid = system.publish(int(rng.choice(survivors)), ev)
+        system.run(until=system.sim.now + 20_000.0)
+        rec = system.metrics.records[eid]
+        got = {(d[0].nid, d[0].iid) for d in rec.deliveries}
+        want = {
+            (sid.nid, sid.iid)
+            for sub, sid in installed
+            if sub.matches(ev) and subscriber_of[sid] not in victims
+        }
+        assert got <= want, "delivered something that should not match!"
+        delivered += len(got & want)
+        expected += len(want)
+    for node in system.nodes:
+        node.stop_maintenance()
+    return delivered, expected, hottest
+
+
+def main() -> None:
+    print(f"{N}-node network, {FAILURES} crash-stop failures "
+          "(including the hottest surrogate):\n")
+    for replication in (1, 3):
+        delivered, expected, hottest = run_once(replication)
+        pct = 100.0 * delivered / max(expected, 1)
+        label = "no replication " if replication == 1 else "replication k=3"
+        print(
+            f"  {label}: {delivered:4d}/{expected} notifications "
+            f"delivered ({pct:5.1f}%)  [hottest surrogate was node {hottest}]"
+        )
+    print(
+        "\nWithout replication, subscriptions stored on dead surrogates "
+        "are simply gone; with standby copies on the successor list the "
+        "takeover node answers for them."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy shim: lets `pip install -e .` work on environments whose
+setuptools predates PEP 660 editable wheels (no `wheel` package).
+All metadata lives in pyproject.toml."""
+from setuptools import setup
+
+setup()

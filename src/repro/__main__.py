@@ -1,0 +1,100 @@
+"""Command-line entry point: ``python -m repro <experiment> [options]``.
+
+Examples::
+
+    python -m repro fig2                 # regenerate Figure 2 tables
+    python -m repro fig5 --scale quick   # fast sanity sweep
+    python -m repro all                  # every experiment, in order
+    python -m repro list                 # what's available
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import os
+import sys
+import time
+
+EXPERIMENTS = {
+    "table1": ("repro.workloads.spec", None),  # documentation-only
+    "fig2": ("repro.experiments.fig2", "Figure 2: delivery-cost CDFs"),
+    "fig3": ("repro.experiments.fig3", "Figure 3: per-node bandwidth"),
+    "fig4": ("repro.experiments.fig4", "Figure 4: ranked load"),
+    "table2": ("repro.experiments.table2", "Table 2: networks & RTTs"),
+    "fig5": ("repro.experiments.fig5", "Figure 5: scalability sweep"),
+    "baselines": ("repro.experiments.baseline_cmp", "B1: vs Meghdoot & central"),
+    "ablation": ("repro.experiments.ablation", "A1: design ablations"),
+    "churn": ("repro.experiments.churn", "C1: delivery under churn"),
+    "piggyback": ("repro.experiments.piggyback", "P1: piggybacked maintenance"),
+    "dynamic": ("repro.experiments.dynamic", "D1: drifting distribution"),
+    "install": ("repro.experiments.install_cost", "I1: installation cost"),
+    "heterogeneous": (
+        "repro.experiments.heterogeneous", "H1: heterogeneous capacities"
+    ),
+    "reliability": (
+        "repro.experiments.reliability", "R1: delivery under message loss"
+    ),
+}
+
+#: everything `all` runs (table1 has no driver; fig2-4 share cached runs)
+RUN_ORDER = [
+    "fig2", "fig3", "fig4", "table2", "fig5",
+    "baselines", "ablation", "churn", "piggyback", "dynamic", "install",
+    "heterogeneous", "reliability",
+]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all", "list"],
+        help="experiment id (see `list`)",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=["quick", "bench", "default", "paper"],
+        default=None,
+        help="overrides REPRO_SCALE for this invocation",
+    )
+    args = parser.parse_args(argv)
+
+    if args.scale:
+        os.environ["REPRO_SCALE"] = args.scale
+
+    if args.experiment == "list":
+        for name in RUN_ORDER:
+            _mod, desc = EXPERIMENTS[name]
+            print(f"  {name:10s} {desc}")
+        return 0
+
+    names = RUN_ORDER if args.experiment == "all" else [args.experiment]
+    if args.experiment == "table1":
+        print(
+            "Table 1 is the workload specification; see "
+            "repro.workloads.spec.default_paper_spec and "
+            "benchmarks/bench_table1_workload.py for its calibration."
+        )
+        return 0
+
+    failures = 0
+    for name in names:
+        mod_name, desc = EXPERIMENTS[name]
+        print(f"\n===== {name}: {desc} =====")
+        t0 = time.time()
+        module = importlib.import_module(mod_name)
+        result = module.run()
+        print(result.render())
+        print(f"[{name} finished in {time.time() - t0:.1f}s]")
+        report = getattr(result, "report", None)
+        if report is not None and not report.all_passed:
+            failures += 1
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,17 @@
+"""Result formatting and shape comparison for the experiment harness."""
+
+from repro.analysis.tables import format_table, format_cdf_table, format_series
+from repro.analysis.compare import ShapeReport
+from repro.analysis.trace import render_dissemination_tree, tree_stats
+from repro.analysis.plots import ascii_cdf_plot, ascii_series_plot
+
+__all__ = [
+    "format_table",
+    "format_cdf_table",
+    "format_series",
+    "ShapeReport",
+    "render_dissemination_tree",
+    "tree_stats",
+    "ascii_cdf_plot",
+    "ascii_series_plot",
+]

@@ -1,0 +1,67 @@
+"""Shape checks: did the reproduction preserve the paper's findings?
+
+The harness is not expected to match the paper's absolute numbers (the
+substrate is a reconstruction), but each experiment asserts the
+qualitative *shape* -- who wins, in which direction, roughly how
+strongly.  :class:`ShapeReport` accumulates those checks and renders a
+pass/fail summary that EXPERIMENTS.md quotes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+
+@dataclass
+class Check:
+    description: str
+    passed: bool
+    detail: str
+
+
+@dataclass
+class ShapeReport:
+    """Accumulates qualitative findings for one experiment."""
+
+    experiment: str
+    checks: List[Check] = field(default_factory=list)
+
+    def expect_less(self, a: float, b: float, description: str, slack: float = 1.0) -> bool:
+        """Record the finding ``a < b * slack``."""
+        ok = a < b * slack
+        self.checks.append(
+            Check(description, ok, f"{a:.3g} vs {b:.3g} (slack {slack:g})")
+        )
+        return ok
+
+    def expect_greater(self, a: float, b: float, description: str, slack: float = 1.0) -> bool:
+        ok = a > b * slack
+        self.checks.append(
+            Check(description, ok, f"{a:.3g} vs {b:.3g} (slack {slack:g})")
+        )
+        return ok
+
+    def expect_within(
+        self, value: float, low: float, high: float, description: str
+    ) -> bool:
+        ok = low <= value <= high
+        self.checks.append(
+            Check(description, ok, f"{value:.3g} in [{low:.3g}, {high:.3g}]")
+        )
+        return ok
+
+    def expect_true(self, condition: bool, description: str, detail: str = "") -> bool:
+        self.checks.append(Check(description, bool(condition), detail))
+        return bool(condition)
+
+    @property
+    def all_passed(self) -> bool:
+        return all(c.passed for c in self.checks)
+
+    def render(self) -> str:
+        lines = [f"shape checks -- {self.experiment}:"]
+        for c in self.checks:
+            mark = "PASS" if c.passed else "FAIL"
+            lines.append(f"  [{mark}] {c.description}  ({c.detail})")
+        return "\n".join(lines)

@@ -1,0 +1,82 @@
+"""Plain-text tables: what the benchmark harness prints.
+
+The paper's figures are CDF plots and ranked-load curves; the harness
+renders the same series as aligned text tables so a terminal run can be
+compared against the paper directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+from repro.sim.stats import Distribution
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table."""
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+    out: List[str] = []
+    if title:
+        out.append(title)
+    out.append(line(list(headers)))
+    out.append(line(["-" * w for w in widths]))
+    out.extend(line(row) for row in str_rows)
+    return "\n".join(out)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float) or isinstance(value, np.floating):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_cdf_table(
+    dists: Dict[str, Distribution],
+    points: Sequence[float] = (10, 25, 50, 75, 90, 95, 99, 100),
+    value_name: str = "value",
+    title: str | None = None,
+) -> str:
+    """One row per configuration: the value at each CDF percentile.
+
+    A textual transposition of the paper's CDF plots -- reading a row
+    left to right traces the curve.
+    """
+    headers = [value_name] + [f"p{int(q)}" for q in points] + ["mean"]
+    rows = []
+    for label, dist in dists.items():
+        rows.append(
+            [label] + [dist.percentile(q) for q in points] + [dist.mean]
+        )
+    return format_table(headers, rows, title=title)
+
+
+def format_series(
+    x_name: str,
+    xs: Sequence[object],
+    series: Dict[str, Sequence[float]],
+    title: str | None = None,
+) -> str:
+    """Line-plot data as a table: one column per x, one row per series."""
+    headers = [x_name] + [_fmt(x) for x in xs]
+    rows = [[label] + list(ys) for label, ys in series.items()]
+    return format_table(headers, rows, title=title)

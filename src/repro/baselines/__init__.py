@@ -1,0 +1,34 @@
+"""Baseline systems HyperSub is compared against.
+
+The paper positions HyperSub against prior DHT pub/sub systems
+(Section 2).  Two representative baselines are implemented end-to-end
+on the same simulator, network model and byte accounting:
+
+* :mod:`~repro.baselines.meghdoot` -- Meghdoot (Gupta et al.,
+  Middleware'04): content-based pub/sub over a CAN whose dimensionality
+  is *twice* the number of event attributes.  Its CAN substrate lives in
+  :mod:`~repro.baselines.can`.
+* :mod:`~repro.baselines.rendezvous` -- a central-rendezvous design in
+  the spirit of Ferry (Zhu & Hu, ICPP'05): one home node per scheme
+  stores every subscription and matches every event ("a small set of
+  peers for storing subscriptions and matching events, which may cause
+  a serious scalability concern").
+* :mod:`~repro.baselines.scribe` -- Scribe topic multicast on Pastry
+  plus the Tam-style content-over-topics adapter ("Tam et al. built a
+  content-based pub/sub system from Scribe ... still suffers from some
+  restrictions on the expression of subscriptions").
+"""
+
+from repro.baselines.can import CANNode, build_can_overlay
+from repro.baselines.meghdoot import MeghdootSystem
+from repro.baselines.rendezvous import CentralRendezvousSystem
+from repro.baselines.scribe import ScribeContentSystem, ScribeNode
+
+__all__ = [
+    "CANNode",
+    "build_can_overlay",
+    "MeghdootSystem",
+    "CentralRendezvousSystem",
+    "ScribeContentSystem",
+    "ScribeNode",
+]

@@ -1,0 +1,142 @@
+"""System configuration.
+
+Defaults mirror the paper's simulation setup (Section 5.1): Chord with
+PNS(16), 64-bit identifiers, 20 bits of zone code, zone-mapping
+rotation on, dynamic migration off unless requested, load-balancing
+probing level 1 and threshold factor delta = 0.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.zones import ZoneGeometry
+
+
+@dataclass
+class HyperSubConfig:
+    """Tunables for one :class:`~repro.core.system.HyperSubSystem`."""
+
+    #: Zone-code base beta (the paper sweeps 2 and 4).
+    base: int = 2
+    #: Identifier bits reserved for zone codes ("the first 20 bits").
+    code_bits: int = 20
+    #: Which overlay to run on: "chord" (paper) or "pastry" (extension).
+    overlay: str = "chord"
+    #: Proximity neighbour selection for Chord fingers (Chord-PNS).
+    pns: bool = True
+    #: Candidates sampled per finger span under PNS (p2psim PNS(16)).
+    pns_samples: int = 16
+    #: Zone-mapping rotation (static load balancing, Section 4).
+    rotation: bool = True
+
+    # -- dynamic subscription migration (Section 4) --------------------
+    #: Enable the dynamic migration mechanism.
+    dynamic_migration: bool = False
+    #: Threshold factor delta: overloaded when L > avg * (1 + delta).
+    migration_delta: float = 0.1
+    #: Probing level P_l: 1 = direct neighbours, 2 = plus their neighbours.
+    migration_probe_level: int = 1
+    #: Maximum number of acceptor nodes k per migration.
+    migration_max_acceptors: int = 4
+    #: Interval between periodic migration rounds (simulated ms); only
+    #: used when periodic balancing is started explicitly.
+    migration_interval_ms: float = 10_000.0
+
+    # -- delivery topology ----------------------------------------------
+    #: R: zones at levels < R are *visited directly* by every event (one
+    #: extra rendezvous entry per level) instead of being reached through
+    #: the summary-filter cascade, and correspondingly push no surrogate
+    #: subscriptions toward the leaves.  R = 0 is the paper's Algorithm 4
+    #: verbatim (single leaf rendezvous + full cascade).  Delivery
+    #: results are identical for any R; the knob trades O(R) extra
+    #: per-event entries against the cascade's state blow-up: shallow
+    #: zones' bounding-box filters merge unrelated subscriptions into
+    #: huge boxes whose subdivisions reach an enormous number of leaf
+    #: zones.  Setting R to ``max_level`` disables the cascade entirely
+    #: (every ancestor visited directly) -- useful as an ablation.
+    #: The default of 8 keeps installation state bounded on any
+    #: workload; set 0 to run Algorithm 4 literally (the ablation
+    #: benchmark demonstrates the delivered events are identical).
+    direct_rendezvous_levels: int = 8
+
+    # -- reliable event transport (extension) ----------------------------
+    #: Per-hop acknowledgement + retransmission for event-delivery
+    #: packets.  The paper's transport is fire-and-forget (its simulator
+    #: never drops packets); with message loss injected
+    #: (``Network.set_loss_rate``) this recovers at-least-once delivery,
+    #: with receiver-side de-duplication keeping it exactly-once at the
+    #: application.  Retransmissions are charged as fresh bytes.
+    reliable_delivery: bool = False
+    #: How long a hop waits for an ack before retransmitting (ms).
+    retransmit_timeout_ms: float = 2_000.0
+    #: Retransmissions per packet before giving up on the hop.
+    max_retries: int = 3
+
+    # -- piggybacked maintenance (extension; paper Section 6) ------------
+    #: Attach the sender's ring state (own id, predecessor, first
+    #: successor) to every event-delivery packet.  Receivers absorb it
+    #: as an implicit notify + liveness proof, letting Chord skip the
+    #: dedicated stabilize/ping RPCs on links that already carry event
+    #: traffic.  Costs PIGGYBACK_BYTES per event packet.
+    piggyback_maintenance: bool = False
+
+    # -- fault tolerance (extension; paper Section 6 future work) -------
+    #: Number of nodes holding each zone repository: the surrogate plus
+    #: ``replication_factor - 1`` standby copies on its Chord successor
+    #: list.  Standbys serve matching only once they become responsible
+    #: for the dead primary's arc (successor takeover), which is exactly
+    #: when events start routing to them.  1 disables replication (the
+    #: paper's configuration).  Chord overlay only.
+    replication_factor: int = 1
+
+    # -- local event matching --------------------------------------------
+    #: Index structure for surrogate repositories: "linear" (vectorised
+    #: scan, default) or "grid" (spatial hash over the first two
+    #: dimensions -- the "indexing structures ... to facilitate local
+    #: event matching" the paper mentions but leaves open).  Both answer
+    #: identically; grid wins once stores grow to thousands of entries.
+    matching_index: str = "linear"
+
+    # -- installation --------------------------------------------------
+    #: When True, subscription installation rides simulated DHT lookups
+    #: and messages (Algorithm 2 faithfully).  When False, placement is
+    #: computed directly from global knowledge -- identical state, zero
+    #: simulated traffic -- which is what the large-scale benchmarks use
+    #: since the paper resets measurement after the install phase.
+    simulate_install: bool = False
+
+    #: Master seed for node identifiers and per-node randomness.
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.overlay not in ("chord", "pastry"):
+            raise ValueError(f"unknown overlay {self.overlay!r}")
+        if self.migration_probe_level not in (1, 2):
+            raise ValueError("migration_probe_level must be 1 or 2")
+        if self.migration_delta < 0:
+            raise ValueError("migration_delta must be non-negative")
+        if self.migration_max_acceptors < 1:
+            raise ValueError("migration_max_acceptors must be >= 1")
+        if self.direct_rendezvous_levels < 0:
+            raise ValueError("direct_rendezvous_levels must be >= 0")
+        if self.replication_factor < 1:
+            raise ValueError("replication_factor must be >= 1")
+        if self.replication_factor > 1 and self.overlay != "chord":
+            raise ValueError("replication requires the chord overlay")
+        if self.matching_index not in ("linear", "grid"):
+            raise ValueError(f"unknown matching_index {self.matching_index!r}")
+        if self.retransmit_timeout_ms <= 0:
+            raise ValueError("retransmit_timeout_ms must be positive")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        # Validates base/code_bits compatibility eagerly.
+        self.geometry  # noqa: B018
+
+    @property
+    def geometry(self) -> ZoneGeometry:
+        return ZoneGeometry(base=self.base, code_bits=self.code_bits)
+
+    @property
+    def max_level(self) -> int:
+        return self.geometry.max_level

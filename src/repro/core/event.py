@@ -1,0 +1,69 @@
+"""Events: equalities on every attribute of a scheme (a point).
+
+"An event is a set of equalities on all attributes in scheme S ...
+An event can be described as a point in the space."
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Union
+
+import numpy as np
+
+from repro.core.scheme import Scheme
+
+
+class Event:
+    """An immutable point in a scheme's content space."""
+
+    __slots__ = ("scheme_name", "point")
+
+    def __init__(self, scheme: Scheme, values: Union[Mapping[str, object], np.ndarray, list, tuple]) -> None:
+        self.scheme_name = scheme.name
+        if isinstance(values, Mapping):
+            missing = [a.name for a in scheme.attributes if a.name not in values]
+            if missing:
+                raise ValueError(
+                    f"event must set every attribute; missing {missing}"
+                )
+            extra = set(values) - {a.name for a in scheme.attributes}
+            if extra:
+                raise ValueError(f"unknown attributes {sorted(extra)}")
+            point = np.array(
+                [a.to_value(values[a.name]) for a in scheme.attributes],
+                dtype=np.float64,
+            )
+        else:
+            seq = list(values)
+            if len(seq) != scheme.dimensions:
+                raise ValueError(
+                    f"expected {scheme.dimensions} values, got {len(seq)}"
+                )
+            point = np.array(
+                [a.to_value(v) for a, v in zip(scheme.attributes, seq)],
+                dtype=np.float64,
+            )
+        point.setflags(write=False)
+        self.point = point
+
+    def value(self, scheme: Scheme, attr_name: str) -> float:
+        return float(self.point[scheme.attr_index(attr_name)])
+
+    def as_dict(self, scheme: Scheme) -> Dict[str, float]:
+        return {
+            a.name: float(v) for a, v in zip(scheme.attributes, self.point)
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        vals = ", ".join(f"{v:g}" for v in self.point)
+        return f"Event({self.scheme_name!r}: [{vals}])"
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Event)
+            and self.scheme_name == other.scheme_name
+            and np.array_equal(self.point, other.point)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.scheme_name, self.point.tobytes()))

@@ -1,0 +1,105 @@
+"""Locality-preserving hashing (Algorithm 1).
+
+Maps a subscription (box) to the smallest content zone that completely
+covers it, and an event (point) to the m-level leaf zone containing it.
+
+Boundary convention
+-------------------
+
+Each division splits the current range of one dimension into ``base``
+equal segments.  Points lying exactly on an internal segment boundary
+belong to the *right* segment; the topmost segment additionally owns the
+domain's upper bound.  A segment "completely covers" a sub-range only if
+the sub-range's upper bound stays strictly below the segment's upper
+boundary (or the segment touches the domain top).  This pairing
+guarantees the delivery invariant the whole system rests on:
+
+    for every point p inside subscription s, the leaf zone of p is a
+    descendant of (or equal to) the zone s is mapped to,
+
+so the chain of surrogate subscriptions built at installation time
+always leads an event from its rendezvous leaf to every subscription
+that matches it.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.zones import ContentZone, ZoneGeometry
+
+
+def lph_box(
+    sub_lows: np.ndarray,
+    sub_highs: np.ndarray,
+    domain_lows: np.ndarray,
+    domain_highs: np.ndarray,
+    geometry: ZoneGeometry,
+) -> ContentZone:
+    """Smallest zone completely covering the box (Algorithm 1 for
+    subscriptions)."""
+    d = len(domain_lows)
+    lows = np.array(domain_lows, dtype=np.float64)
+    highs = np.array(domain_highs, dtype=np.float64)
+    if np.any(sub_lows < lows) or np.any(sub_highs > highs):
+        raise ValueError("box lies outside the content space")
+    if np.any(sub_highs < sub_lows):
+        raise ValueError("box has negative extent")
+    base = geometry.base
+    code = 0
+    level = 0
+    for i in range(geometry.max_level):
+        j = i % d
+        width = (highs[j] - lows[j]) / base
+        # Segment of the box's lower bound (clamp handles the domain top).
+        p = min(int((sub_lows[j] - lows[j]) / width), base - 1)
+        seg_lo = lows[j] + p * width
+        seg_hi = seg_lo + width
+        covers = sub_lows[j] >= seg_lo and (
+            sub_highs[j] < seg_hi or seg_hi >= domain_highs[j]
+        )
+        if not covers:
+            break
+        lows[j] = seg_lo
+        highs[j] = seg_hi
+        code = code * base + p
+        level += 1
+    return ContentZone(code, level, geometry)
+
+
+def lph_point(
+    point: np.ndarray,
+    domain_lows: np.ndarray,
+    domain_highs: np.ndarray,
+    geometry: ZoneGeometry,
+) -> ContentZone:
+    """The m-level leaf zone holding the point (Algorithm 1 for events)."""
+    d = len(domain_lows)
+    lows = np.array(domain_lows, dtype=np.float64)
+    highs = np.array(domain_highs, dtype=np.float64)
+    if np.any(point < lows) or np.any(point > highs):
+        raise ValueError("point lies outside the content space")
+    base = geometry.base
+    code = 0
+    for i in range(geometry.max_level):
+        j = i % d
+        width = (highs[j] - lows[j]) / base
+        p = min(int((point[j] - lows[j]) / width), base - 1)
+        lows[j] = lows[j] + p * width
+        highs[j] = lows[j] + width
+        code = code * base + p
+    return ContentZone(code, geometry.max_level, geometry)
+
+
+def lph_keys(
+    sub_lows: np.ndarray,
+    sub_highs: np.ndarray,
+    domain_lows: np.ndarray,
+    domain_highs: np.ndarray,
+    geometry: ZoneGeometry,
+) -> Tuple[int, ContentZone]:
+    """Convenience: zone plus its identifier-space key."""
+    zone = lph_box(sub_lows, sub_highs, domain_lows, domain_highs, geometry)
+    return zone.key, zone

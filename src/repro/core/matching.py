@@ -1,0 +1,132 @@
+"""Vectorised subscription stores.
+
+Every content-zone repository keeps its registered boxes (real
+subscriptions *and* surrogate subscriptions) in a :class:`BoxStore`:
+bounds live in growing NumPy arrays so matching an event against a
+repository is two broadcast comparisons instead of a Python loop --
+the ``event_match`` of Algorithm 5 is the hottest operation in the
+whole simulation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.subscription import SubID
+
+_INITIAL_CAPACITY = 8
+
+
+class BoxStore:
+    """A mutable ``SubID -> hyper-rectangle`` map with point queries.
+
+    ``put`` with an existing id replaces the box (surrogate-subscription
+    updates); removed slots are tombstoned and recycled.
+    """
+
+    def __init__(self, dims: int) -> None:
+        if dims < 1:
+            raise ValueError("dims must be >= 1")
+        self.dims = dims
+        self._lows = np.empty((_INITIAL_CAPACITY, dims), dtype=np.float64)
+        self._highs = np.empty((_INITIAL_CAPACITY, dims), dtype=np.float64)
+        self._active = np.zeros(_INITIAL_CAPACITY, dtype=bool)
+        self._subids: List[Optional[SubID]] = [None] * _INITIAL_CAPACITY
+        self._slot_of: Dict[SubID, int] = {}
+        self._free: List[int] = list(range(_INITIAL_CAPACITY - 1, -1, -1))
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, subid: SubID) -> bool:
+        return subid in self._slot_of
+
+    def subids(self) -> Iterator[SubID]:
+        return iter(self._slot_of.keys())
+
+    def get_box(self, subid: SubID) -> Tuple[np.ndarray, np.ndarray]:
+        slot = self._slot_of[subid]
+        return self._lows[slot].copy(), self._highs[slot].copy()
+
+    # ------------------------------------------------------------------
+    def _grow(self) -> None:
+        old = len(self._active)
+        new = old * 2
+        for arr_name in ("_lows", "_highs"):
+            old_arr = getattr(self, arr_name)
+            new_arr = np.empty((new, self.dims), dtype=np.float64)
+            new_arr[:old] = old_arr
+            setattr(self, arr_name, new_arr)
+        active = np.zeros(new, dtype=bool)
+        active[:old] = self._active
+        self._active = active
+        self._subids.extend([None] * (new - old))
+        self._free.extend(range(new - 1, old - 1, -1))
+
+    def put(self, subid: SubID, lows: np.ndarray, highs: np.ndarray) -> None:
+        """Insert or replace the box registered under ``subid``."""
+        lows = np.asarray(lows, dtype=np.float64)
+        highs = np.asarray(highs, dtype=np.float64)
+        if lows.shape != (self.dims,) or highs.shape != (self.dims,):
+            raise ValueError(f"box must have shape ({self.dims},)")
+        if np.any(highs < lows):
+            raise ValueError("box has negative extent")
+        slot = self._slot_of.get(subid)
+        if slot is None:
+            if not self._free:
+                self._grow()
+            slot = self._free.pop()
+            self._slot_of[subid] = slot
+            self._subids[slot] = subid
+            self._active[slot] = True
+            self._size += 1
+        self._lows[slot] = lows
+        self._highs[slot] = highs
+
+    def remove(self, subid: SubID) -> None:
+        slot = self._slot_of.pop(subid)
+        self._active[slot] = False
+        self._subids[slot] = None
+        self._free.append(slot)
+        self._size -= 1
+
+    def pop_matching(self, predicate) -> List[Tuple[SubID, np.ndarray, np.ndarray]]:
+        """Remove and return entries whose subid satisfies ``predicate``.
+
+        Used by the load balancer to extract the subscriptions whose
+        subscribers fall in a migrated identifier arc.
+        """
+        picked = [sid for sid in self._slot_of if predicate(sid)]
+        out = []
+        for sid in picked:
+            lows, highs = self.get_box(sid)
+            self.remove(sid)
+            out.append((sid, lows, highs))
+        return out
+
+    # ------------------------------------------------------------------
+    def match_point(self, point: np.ndarray) -> List[SubID]:
+        """All subids whose box contains ``point`` (Algorithm 5's
+        ``event_match``)."""
+        if self._size == 0:
+            return []
+        point = np.asarray(point, dtype=np.float64)
+        inside = (
+            self._active
+            & np.all(self._lows <= point, axis=1)
+            & np.all(point <= self._highs, axis=1)
+        )
+        idx = np.nonzero(inside)[0]
+        return [self._subids[i] for i in idx]  # type: ignore[misc]
+
+    def bounding_box(self) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """Smallest box covering every active entry, or ``None`` if empty."""
+        if self._size == 0:
+            return None
+        lows = self._lows[self._active]
+        highs = self._highs[self._active]
+        return lows.min(axis=0), highs.max(axis=0)

@@ -1,0 +1,1102 @@
+"""HyperSub node logic: Algorithms 2-5 plus the migration protocol.
+
+:class:`PubSubNodeMixin` carries everything above the DHT:
+
+* subscriber-side state (the user's own subscriptions, Algorithm 2);
+* surrogate-side state: one :class:`ZoneRepo` per content zone this
+  node is surrogate for ("content zones are managed individually, with
+  the node regarded as a few virtual nodes"), each holding a
+  :class:`~repro.core.matching.BoxStore`, a summary filter and the
+  surrogate subscriptions pushed to child zones (Algorithm 3);
+* event processing (Algorithm 5): match locally, merge matched SubIDs,
+  group the remainder by next DHT hop, forward one aggregated message
+  per link;
+* dynamic subscription migration (Section 4): load probing, acceptor
+  selection, per-arc migration, summarising surrogate subscriptions.
+
+Concrete node classes bind the mixin to an overlay:
+:class:`HyperSubChordNode` (the paper's configuration) and
+:class:`HyperSubPastryNode` (the portability extension).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.matching import BoxStore
+from repro.core.subscription import SubID, Subscription
+from repro.core.summary import boxes_equal, child_pieces, merge_box
+from repro.core.subscheme import PubSubEntity
+from repro.core.zones import ContentZone
+from repro.dht.chord import ChordNode
+from repro.dht.idspace import id_in_interval
+from repro.dht.pastry import PastryNode
+from repro.sim.messages import (
+    CONTROL_BYTES,
+    PIGGYBACK_BYTES,
+    SUBID_BYTES,
+    Message,
+    event_message_bytes,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.system import HyperSubSystem
+
+#: Wire size of one subscription box (two float64 bounds per dimension).
+def subscription_wire_bytes(dims: int) -> int:
+    return SUBID_BYTES + 16 * dims
+
+
+class ZoneRepo:
+    """Surrogate state for one content zone of one entity."""
+
+    __slots__ = ("entity_key", "zone", "store", "sf", "pushed", "marker_iids", "kinds")
+
+    def __init__(self, entity_key: str, zone: ContentZone, store: BoxStore) -> None:
+        self.entity_key = entity_key
+        self.zone = zone
+        self.store = store
+        #: summary filter: bounding box of everything registered here
+        self.sf: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        #: last piece pushed to each child digit
+        self.pushed: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+        #: internal id of the surrogate subscription per child digit
+        self.marker_iids: Dict[int, int] = {}
+        #: provenance of each stored entry: "sub" | "marker" | "migr"
+        self.kinds: Dict[SubID, str] = {}
+
+    @property
+    def key(self) -> Tuple[str, int, int]:
+        return (self.entity_key, self.zone.code, self.zone.level)
+
+
+class PubSubNodeMixin:
+    """Pub/sub behaviour shared by every overlay binding.
+
+    Requires the host class to be an :class:`~repro.dht.base.OverlayNode`
+    (routing + messaging); call :meth:`_init_pubsub` after overlay init.
+    """
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _init_pubsub(self, system: "HyperSubSystem") -> None:
+        self.system = system
+        self._iid_counter = 0
+        #: iid -> (entity_key, Subscription, zone) for the user's own subs
+        self.own_subs: Dict[int, Tuple[str, Subscription, ContentZone]] = {}
+        #: (entity_key, code, level) -> ZoneRepo
+        self.zone_repos: Dict[Tuple[str, int, int], ZoneRepo] = {}
+        #: rotated zone key -> repo keys reachable by direct rendezvous.
+        #: Leaf repos always; shallow repos too when R > 0.  A list, not
+        #: a single key: an ancestor's key equals its rightmost
+        #: descendant leaf's key, so keys can legitimately collide.
+        self.rendezvous_index: Dict[int, List[Tuple[str, int, int]]] = {}
+        #: surrogate-subscription iid -> repo key it summarises
+        self.marker_origin: Dict[int, Tuple[str, int, int]] = {}
+        #: accepted-migration iid -> (scheme_name, BoxStore)
+        self.migrated: Dict[int, Tuple[str, BoxStore]] = {}
+        #: standby replicas of other primaries' zone repos
+        #: (replication extension): repo key -> ZoneRepo
+        self.standby_repos: Dict[Tuple[str, int, int], ZoneRepo] = {}
+        #: rotated zone key -> standby repo keys (rendezvous takeover)
+        self.standby_rendezvous: Dict[int, List[Tuple[str, int, int]]] = {}
+        #: (origin nid, iid) -> standby repo key (marker takeover)
+        self.standby_markers: Dict[Tuple[int, int], Tuple[str, int, int]] = {}
+        #: (origin nid, iid) -> (scheme, BoxStore): migrated stores
+        #: inherited from a gracefully departed predecessor
+        self.standby_migrated: Dict[Tuple[int, int], Tuple[str, BoxStore]] = {}
+        #: in-flight load-balancing round state
+        self._lb_round: Optional[dict] = None
+        self._lb_seq = 0
+        #: per-destination throttle for piggybacked ring state: state
+        #: changes slowly, so attaching it to every packet on a busy
+        #: link wastes bytes; once per half-interval keeps it fresh.
+        self._pb_last_sent: Dict[int, float] = {}
+        #: reliable-transport state: outstanding event packets by seq
+        self._rel_pending: Dict[int, dict] = {}
+        self._rel_seq = 0
+        #: (sender addr, seq) pairs already processed (dedup on ack loss)
+        self._rel_seen: set = set()
+        #: relative node capacity (Section 4: "the value of the
+        #: threshold factor delta for each node is based on the node's
+        #: capacity"; the paper's runs assume 1.0 everywhere -- the
+        #: heterogeneous evaluation it defers is experiment H1).
+        self.capacity: float = 1.0
+
+        self.register_handler("ps_register", self._on_ps_register)
+        self.register_handler("ps_replica", self._on_ps_replica)
+        self.register_handler("ps_handoff", self._on_ps_handoff)
+        # Arc handoff on membership change (Chord only): when a joiner
+        # slides in as our new predecessor, the rendezvous repos whose
+        # keys now fall in its arc must move to it.
+        if hasattr(self, "on_predecessor_change"):
+            self.on_predecessor_change = self._on_pred_change
+        self.register_handler("ps_unregister", self._on_ps_unregister)
+        self.register_handler("ps_event", self._on_ps_event)
+        self.register_handler("ps_event_ack", self._on_ps_event_ack)
+        self.register_handler("ps_load_probe", self._on_load_probe)
+        self.register_handler("ps_load_reply", self._on_load_reply)
+        self.register_handler("ps_migrate", self._on_migrate)
+        self.register_handler("ps_migrate_ack", self._on_migrate_ack)
+
+    def _next_iid(self) -> int:
+        self._iid_counter += 1
+        return self._iid_counter
+
+    # ------------------------------------------------------------------
+    # Load (Section 4: "load on node is measured as the number of
+    # subscriptions stored on the node")
+    # ------------------------------------------------------------------
+    def load(self) -> int:
+        total = sum(len(r.store) for r in self.zone_repos.values())
+        total += sum(len(store) for _s, store in self.migrated.values())
+        return total
+
+    def stored_subscription_count(self, kind: Optional[str] = None) -> int:
+        """Count stored entries, optionally filtered by provenance."""
+        if kind is None:
+            return self.load()
+        total = 0
+        for repo in self.zone_repos.values():
+            total += sum(1 for k in repo.kinds.values() if k == kind)
+        if kind == "sub":
+            total += sum(len(store) for _s, store in self.migrated.values())
+        return total
+
+    # ------------------------------------------------------------------
+    # Algorithm 2: subscribe
+    # ------------------------------------------------------------------
+    def subscribe(self, sub: Subscription) -> SubID:
+        """Register interest; returns the global subscription id."""
+        entity = self.system.entity_for_subscription(sub)
+        zone = entity.zone_of_subscription(sub)
+        iid = self._next_iid()
+        self.own_subs[iid] = (entity.key, sub, zone)
+        subid = SubID(self.node_id, iid)
+        self.system.metrics.count_subscription(sub.scheme_name)
+        self._dispatch_register(entity, zone, subid, sub.lows, sub.highs, "sub")
+        return subid
+
+    def unsubscribe(self, subid: SubID) -> None:
+        """Best-effort removal.
+
+        The installed copy is removed from the (current) surrogate of
+        the subscription's zone.  A copy that has since been *migrated*
+        becomes a stale entry: deliveries targeting it find no local
+        subscription here and are silently dropped, the standard
+        eventual-consistency behaviour for this kind of system.
+        """
+        if subid.nid != self.node_id or subid.iid not in self.own_subs:
+            raise KeyError(f"not our subscription: {subid}")
+        entity_key, _sub, zone = self.own_subs.pop(subid.iid)
+        entity = self.system.entity(entity_key)
+        key = entity.rotated_key(zone)
+        payload = {
+            "entity": entity_key,
+            "code": zone.code,
+            "level": zone.level,
+            "subid": (subid.nid, subid.iid),
+        }
+        if self.system.config.simulate_install:
+            self.lookup(
+                key,
+                lambda res: self.send(
+                    Message(
+                        src=self.addr,
+                        dst=res.home_addr,
+                        kind="ps_unregister",
+                        payload=payload,
+                        size_bytes=CONTROL_BYTES + SUBID_BYTES,
+                    )
+                ),
+            )
+        else:
+            home = self.system.node_at_home(key)
+            home._unregister_local(entity_key, zone.code, zone.level, subid)
+
+    # ------------------------------------------------------------------
+    # Algorithm 3: registration on the surrogate (plus the cascade)
+    # ------------------------------------------------------------------
+    def _dispatch_register(
+        self,
+        entity: PubSubEntity,
+        zone: ContentZone,
+        subid: SubID,
+        lows: np.ndarray,
+        highs: np.ndarray,
+        kind: str,
+    ) -> None:
+        """Deliver a registration to the zone's surrogate node.
+
+        Fast path (default): resolve the surrogate from global knowledge
+        and call it directly -- byte-identical placement, no simulated
+        traffic.  Simulated path: ``lookup()`` then a ``ps_register``
+        packet, Algorithm 2 verbatim.
+        """
+        key = entity.rotated_key(zone)
+        if not self.system.config.simulate_install:
+            home = self.system.node_at_home(key)
+            home._register_local(entity.key, zone.code, zone.level, subid, lows, highs, kind)
+            return
+        payload = {
+            "entity": entity.key,
+            "code": zone.code,
+            "level": zone.level,
+            "subid": (subid.nid, subid.iid),
+            "lows": lows.tolist(),
+            "highs": highs.tolist(),
+            "kind": kind,
+        }
+        size = CONTROL_BYTES + subscription_wire_bytes(len(lows))
+
+        def _send(res) -> None:
+            self.send(
+                Message(
+                    src=self.addr,
+                    dst=res.home_addr,
+                    kind="ps_register",
+                    payload=payload,
+                    size_bytes=size,
+                )
+            )
+
+        self.lookup(key, _send)
+
+    def _on_ps_register(self, msg: Message) -> None:
+        p = msg.payload
+        self._register_local(
+            p["entity"],
+            p["code"],
+            p["level"],
+            SubID(*p["subid"]),
+            np.asarray(p["lows"], dtype=np.float64),
+            np.asarray(p["highs"], dtype=np.float64),
+            p["kind"],
+        )
+
+    def _get_repo(self, entity: PubSubEntity, zone: ContentZone) -> ZoneRepo:
+        repo_key = (entity.key, zone.code, zone.level)
+        repo = self.zone_repos.get(repo_key)
+        if repo is None:
+            repo = ZoneRepo(entity.key, zone, self.system.make_store(entity))
+            self.zone_repos[repo_key] = repo
+            direct = self.system.config.direct_rendezvous_levels
+            if zone.is_leaf or zone.level < direct:
+                self.rendezvous_index.setdefault(
+                    entity.rotated_key(zone), []
+                ).append(repo_key)
+            if zone.level < direct:
+                self.system.mark_shallow_occupied(repo_key)
+        return repo
+
+    def _register_local(
+        self,
+        entity_key: str,
+        code: int,
+        level: int,
+        subid: SubID,
+        lows: np.ndarray,
+        highs: np.ndarray,
+        kind: str,
+    ) -> None:
+        """Algorithm 3: store, refresh the summary filter, cascade."""
+        entity = self.system.entity(entity_key)
+        zone = ContentZone(code, level, entity.geometry)
+        repo = self._get_repo(entity, zone)
+        repo.store.put(subid, lows, highs)
+        repo.kinds[subid] = kind
+        if self.system.config.replication_factor > 1:
+            self._replicate(entity_key, code, level, subid, lows, highs, kind)
+        new_sf, changed = merge_box(repo.sf, (lows, highs))
+        repo.sf = new_sf
+        if not changed or zone.is_leaf:
+            return
+        if zone.level < self.system.config.direct_rendezvous_levels:
+            # Shallow zones are visited directly by every event; their
+            # filters need not cascade toward the leaves.
+            return
+        zbox = entity.zone_box_projected(zone)
+        pieces = child_pieces(zone, new_sf, zbox, entity.dims)
+        for digit, piece in pieces.items():
+            if boxes_equal(repo.pushed.get(digit), piece):
+                continue
+            repo.pushed[digit] = piece
+            marker_iid = repo.marker_iids.get(digit)
+            if marker_iid is None:
+                marker_iid = self._next_iid()
+                repo.marker_iids[digit] = marker_iid
+                self.marker_origin[marker_iid] = repo.key
+                if self.system.config.replication_factor > 1:
+                    # Standbys must be able to resolve our marker iids
+                    # after a takeover (events climbing via children
+                    # still carry the dead primary's node id).
+                    k = self.system.config.replication_factor
+                    for _sid, saddr in getattr(self, "successors", [])[: k - 1]:
+                        self.system.nodes[saddr].register_standby_marker(
+                            self.node_id, marker_iid, repo.key
+                        )
+            self._dispatch_register(
+                entity,
+                zone.child(digit),
+                SubID(self.node_id, marker_iid),
+                piece[0],
+                piece[1],
+                "marker",
+            )
+
+    # ------------------------------------------------------------------
+    # Replication extension: standby copies on the successor list
+    # ------------------------------------------------------------------
+    def _replicate(
+        self,
+        entity_key: str,
+        code: int,
+        level: int,
+        subid: SubID,
+        lows: np.ndarray,
+        highs: np.ndarray,
+        kind: str,
+    ) -> None:
+        """Mirror one accepted registration onto k-1 successors."""
+        k = self.system.config.replication_factor
+        replicas = getattr(self, "successors", [])[: k - 1]
+        payload = {
+            "entity": entity_key,
+            "code": code,
+            "level": level,
+            "subid": (subid.nid, subid.iid),
+            "lows": lows.tolist(),
+            "highs": highs.tolist(),
+            "kind": kind,
+            "origin": self.node_id,
+        }
+        size = CONTROL_BYTES + subscription_wire_bytes(len(lows))
+        for _succ_id, succ_addr in replicas:
+            if self.system.config.simulate_install:
+                self.send(
+                    Message(
+                        src=self.addr, dst=succ_addr, kind="ps_replica",
+                        payload=payload, size_bytes=size,
+                    )
+                )
+            else:
+                self.system.nodes[succ_addr]._store_replica(
+                    entity_key, code, level, subid, lows, highs, kind
+                )
+
+    def _on_ps_replica(self, msg: Message) -> None:
+        p = msg.payload
+        self._store_replica(
+            p["entity"], p["code"], p["level"], SubID(*p["subid"]),
+            np.asarray(p["lows"], dtype=np.float64),
+            np.asarray(p["highs"], dtype=np.float64),
+            p["kind"],
+        )
+
+    def _store_replica(
+        self,
+        entity_key: str,
+        code: int,
+        level: int,
+        subid: SubID,
+        lows: np.ndarray,
+        highs: np.ndarray,
+        kind: str,
+    ) -> None:
+        """Accept a standby copy.  Standbys never cascade or match until
+        this node becomes responsible for the dead primary's arc."""
+        entity = self.system.entity(entity_key)
+        zone = ContentZone(code, level, entity.geometry)
+        repo_key = (entity_key, code, level)
+        repo = self.standby_repos.get(repo_key)
+        if repo is None:
+            repo = ZoneRepo(entity_key, zone, self.system.make_store(entity))
+            self.standby_repos[repo_key] = repo
+            direct = self.system.config.direct_rendezvous_levels
+            if zone.is_leaf or zone.level < direct:
+                self.standby_rendezvous.setdefault(
+                    entity.rotated_key(zone), []
+                ).append(repo_key)
+        repo.store.put(subid, lows, highs)
+        repo.kinds[subid] = kind
+
+    def register_standby_marker(
+        self, origin_nid: int, iid: int, repo_key: Tuple[str, int, int]
+    ) -> None:  # pragma: no cover - exercised via replication of markers
+        self.standby_markers[(origin_nid, iid)] = repo_key
+
+    # ------------------------------------------------------------------
+    # Graceful departure (membership extension)
+    # ------------------------------------------------------------------
+    def leave_gracefully(self) -> None:
+        """Transfer every surrogate responsibility to the successor and
+        leave the ring.
+
+        After departure our identifier's keys resolve to the successor,
+        so (a) rendezvous repos become its standby repos (served through
+        the takeover paths), (b) our surrogate-subscription ids -- still
+        embedded in child zones across the network -- are mapped on the
+        successor via ``register_standby_marker``, and (c) migrated
+        stores we accepted are inherited likewise.  A real node would
+        ship this as one bulk transfer; the ring unlink itself is
+        Chord's graceful ``leave``.
+        """
+        succs = getattr(self, "successors", [])
+        if succs:
+            succ = self.system.nodes[succs[0][1]]
+            for repo in self.zone_repos.values():
+                for sid in list(repo.store.subids()):
+                    lo, hi = repo.store.get_box(sid)
+                    succ._store_replica(
+                        repo.entity_key,
+                        repo.zone.code,
+                        repo.zone.level,
+                        sid,
+                        lo,
+                        hi,
+                        repo.kinds.get(sid, "sub"),
+                    )
+            for iid, repo_key in self.marker_origin.items():
+                succ.register_standby_marker(self.node_id, iid, repo_key)
+            for iid, (scheme_name, store) in self.migrated.items():
+                succ.standby_migrated[(self.node_id, iid)] = (scheme_name, store)
+        self.leave()
+
+    # ------------------------------------------------------------------
+    # Arc handoff on join (membership extension)
+    # ------------------------------------------------------------------
+    def _on_pred_change(
+        self, old_id: Optional[int], new_id: Optional[int]
+    ) -> None:
+        """A joiner took over part of our arc: move its rendezvous state.
+
+        Only *rendezvous-served* repos (leaves, and shallow zones under
+        the direct radius) move -- they are matched strictly by key, and
+        the key now resolves to the joiner.  Internal zones stay: their
+        surrogate subscriptions in child zones carry OUR node id, which
+        remains a valid address; new registrations for those zones
+        simply accumulate at the joiner under its own markers.
+        """
+        if old_id is None or new_id is None or old_id == new_id:
+            return
+        if not id_in_interval(new_id, old_id, self.node_id):
+            return  # arc grew (failure takeover), nothing to ship
+        moved_keys = [
+            k
+            for k in self.rendezvous_index
+            if id_in_interval(k, old_id, new_id, incl_right=True)
+        ]
+        if not moved_keys:
+            return
+        new_addr = self.predecessor[1]
+        groups: List[dict] = []
+        payload_bytes = 0
+        for key in moved_keys:
+            for repo_key in self.rendezvous_index[key]:
+                repo = self.zone_repos.pop(repo_key, None)
+                if repo is None:
+                    continue
+                entity = self.system.entity(repo.entity_key)
+                entries = []
+                for sid in list(repo.store.subids()):
+                    lo, hi = repo.store.get_box(sid)
+                    entries.append(
+                        (
+                            (sid.nid, sid.iid),
+                            lo.tolist(),
+                            hi.tolist(),
+                            repo.kinds.get(sid, "sub"),
+                        )
+                    )
+                groups.append({"repo": list(repo_key), "entries": entries})
+                payload_bytes += len(entries) * subscription_wire_bytes(
+                    entity.scheme.dimensions
+                )
+            del self.rendezvous_index[key]
+        if not groups:
+            return
+        self.send(
+            Message(
+                src=self.addr,
+                dst=new_addr,
+                kind="ps_handoff",
+                payload={"groups": groups},
+                size_bytes=CONTROL_BYTES + payload_bytes,
+            )
+        )
+
+    def _on_ps_handoff(self, msg: Message) -> None:
+        for group in msg.payload["groups"]:
+            entity_key, code, level = group["repo"]
+            for (nid, iid), lows, highs, kind in group["entries"]:
+                self._register_local(
+                    entity_key,
+                    code,
+                    level,
+                    SubID(nid, iid),
+                    np.asarray(lows, dtype=np.float64),
+                    np.asarray(highs, dtype=np.float64),
+                    kind,
+                )
+
+    def _on_ps_unregister(self, msg: Message) -> None:
+        p = msg.payload
+        self._unregister_local(p["entity"], p["code"], p["level"], SubID(*p["subid"]))
+
+    def _unregister_local(
+        self, entity_key: str, code: int, level: int, subid: SubID
+    ) -> None:
+        repo = self.zone_repos.get((entity_key, code, level))
+        if repo is None or subid not in repo.store:
+            return  # stale (e.g. the copy was migrated away)
+        repo.store.remove(subid)
+        repo.kinds.pop(subid, None)
+        # Summary filters never shrink (conservative over-approximation).
+
+    # ------------------------------------------------------------------
+    # Algorithms 4 & 5: publish and deliver
+    # ------------------------------------------------------------------
+    def publish(self, event) -> int:
+        """Inject an event; returns its id for metric correlation.
+
+        The event message starts at the publisher with one rendezvous
+        entry per entity of the scheme and is routed recursively through
+        the overlay's embedded tree (Algorithm 5 handles the rendezvous
+        entry with the same grouping logic as every other SubID).
+        """
+        event_id = self.system.metrics.new_event(event, self.addr, self.sim.now)
+        direct = self.system.config.direct_rendezvous_levels
+        entries = []
+        seen_keys = set()
+        for entity in self.system.entities_of(event.scheme_name):
+            leaf = entity.zone_of_point(event.point)
+            targets = [leaf]
+            # With R > 0 the event also visits its shallow ancestors
+            # directly (they push no surrogate subscriptions).  Empty
+            # shallow zones are skipped via the occupancy directory --
+            # matching the cascade design, where the climb only reaches
+            # zones that registered something below themselves.
+            zone = leaf
+            while zone.level > 0:
+                zone = zone.parent()
+                if zone.level < direct and self.system.shallow_occupied(
+                    (entity.key, zone.code, zone.level)
+                ):
+                    targets.append(zone)
+            for z in targets:
+                key = entity.rotated_key(z)
+                if key not in seen_keys:
+                    seen_keys.add(key)
+                    entries.append((key, None))
+        payload = {
+            "event_id": event_id,
+            "scheme": event.scheme_name,
+            "point": event.point,
+            "entries": entries,
+        }
+        root = Message(
+            src=self.addr,
+            dst=self.addr,
+            kind="ps_event",
+            payload=payload,
+            size_bytes=0,
+            root_time=self.sim.now,
+        )
+        self._process_event(root)
+        return event_id
+
+    def _pb_due(self, dst_addr: int) -> bool:
+        """Attach ring state only where it can replace maintenance RPCs.
+
+        Piggybacked state helps the *receiver* skip (a) pinging its
+        predecessor -- we must be that predecessor candidate, i.e. the
+        receiver is our successor -- or (b) stabilizing with its
+        successor -- we must be that successor, i.e. the receiver is
+        our predecessor.  Other links gain nothing, and even on useful
+        links once per half-interval keeps the state fresh.
+        """
+        useful = set()
+        succs = getattr(self, "successors", None)
+        if succs:
+            useful.add(succs[0][1])
+        pred = getattr(self, "predecessor", None)
+        if pred is not None:
+            useful.add(pred[1])
+        if dst_addr not in useful:
+            return False
+        interval = getattr(self, "stabilize_interval_ms", 500.0) / 2.0
+        last = self._pb_last_sent.get(dst_addr)
+        if last is not None and self.sim.now - last < interval:
+            return False
+        self._pb_last_sent[dst_addr] = self.sim.now
+        return True
+
+    # ------------------------------------------------------------------
+    # Reliable event transport (extension)
+    # ------------------------------------------------------------------
+    def _send_event_reliably(self, msg: Message) -> None:
+        """Attach a sequence number, arm the retransmission timer."""
+        self._rel_seq += 1
+        seq = self._rel_seq
+        msg.payload["rseq"] = seq
+        self._rel_pending[seq] = {
+            "dst": msg.dst,
+            "payload": msg.payload,
+            "size": msg.size_bytes,
+            "hops": msg.hops,
+            "path_latency": msg.path_latency,
+            "root_time": msg.root_time,
+            "retries": 0,
+        }
+        self.send(msg)
+        self.sim.schedule(
+            self.system.config.retransmit_timeout_ms, self._rel_retry, seq
+        )
+
+    def _rel_retry(self, seq: int) -> None:
+        state = self._rel_pending.get(seq)
+        if state is None:
+            return  # acked in time
+        if state["retries"] >= self.system.config.max_retries:
+            del self._rel_pending[seq]
+            return  # hop presumed dead; routing repair will reroute later
+        state["retries"] += 1
+        clone = Message(
+            src=self.addr,
+            dst=state["dst"],
+            kind="ps_event",
+            payload=state["payload"],
+            size_bytes=state["size"],
+            hops=state["hops"],
+            path_latency=state["path_latency"],
+            root_time=state["root_time"],
+        )
+        # A retransmission is real traffic.
+        self.system.metrics.on_event_message(
+            state["payload"]["event_id"], state["size"]
+        )
+        self.send(clone)
+        self.sim.schedule(
+            self.system.config.retransmit_timeout_ms, self._rel_retry, seq
+        )
+
+    def _on_ps_event_ack(self, msg: Message) -> None:
+        self._rel_pending.pop(msg.payload["rseq"], None)
+
+    def _on_ps_event(self, msg: Message) -> None:
+        rseq = msg.payload.get("rseq")
+        if rseq is not None:
+            self.send(
+                Message(
+                    src=self.addr, dst=msg.src, kind="ps_event_ack",
+                    payload={"rseq": rseq}, size_bytes=CONTROL_BYTES,
+                )
+            )
+            key = (msg.src, rseq)
+            if key in self._rel_seen:
+                return  # duplicate (our ack was lost): already processed
+            self._rel_seen.add(key)
+        pb = msg.payload.get("pb")
+        if pb is not None and hasattr(self, "absorb_piggyback"):
+            self.absorb_piggyback(
+                pb["id"],
+                pb["addr"],
+                tuple(pb["pred"]) if pb["pred"] else None,
+                tuple(pb["succ"]) if pb["succ"] else None,
+            )
+        self._process_event(msg)
+
+    def _process_event(self, msg: Message) -> None:
+        """Algorithm 5: one node's share of the dissemination tree."""
+        p = msg.payload
+        event_id = p["event_id"]
+        point = p["point"]
+        scheme_name = p["scheme"]
+
+        worklist = deque(p["entries"])
+        groups: Dict[int, List[Tuple[int, Optional[int]]]] = {}
+        while worklist:
+            nid, iid = worklist.popleft()
+            if self.is_responsible(nid):
+                worklist.extend(
+                    self._handle_local_entry(event_id, scheme_name, point, nid, iid, msg)
+                )
+            else:
+                nh = self.next_hop_addr(nid)
+                if nh is None:  # pragma: no cover - defensive
+                    continue
+                groups.setdefault(nh, []).append((nid, iid))
+
+        piggyback = None
+        if self.system.config.piggyback_maintenance and hasattr(self, "successors"):
+            piggyback = {
+                "id": self.node_id,
+                "addr": self.addr,
+                "pred": self.predecessor,
+                "succ": self.successors[0] if self.successors else None,
+            }
+        for nh, ents in groups.items():
+            size = event_message_bytes(len(ents))
+            payload = {
+                "event_id": event_id,
+                "scheme": scheme_name,
+                "point": point,
+                "entries": ents,
+            }
+            if piggyback is not None and self._pb_due(nh):
+                payload["pb"] = piggyback
+                size += PIGGYBACK_BYTES
+            child = msg.child(self.addr, nh, "ps_event", payload, size)
+            self.system.metrics.on_event_message(event_id, size)
+            if self.system.tracing:
+                self.system.metrics.on_event_edge(
+                    event_id, self.addr, nh, len(ents)
+                )
+            if self.system.config.reliable_delivery:
+                self._send_event_reliably(child)
+            else:
+                self.send(child)
+
+    def _handle_local_entry(
+        self,
+        event_id: int,
+        scheme_name: str,
+        point: np.ndarray,
+        nid: int,
+        iid: Optional[int],
+        msg: Message,
+    ) -> List[Tuple[int, Optional[int]]]:
+        """Process one SubID addressed to this node; return merged SubIDs."""
+        if iid is None:
+            # Rendezvous entry: match every repo reachable at this key
+            # (the event's leaf, plus directly-visited shallow zones; an
+            # ancestor's key may equal its rightmost leaf's key).
+            matched: List[Tuple[int, Optional[int]]] = []
+            for repo_key in self.rendezvous_index.get(nid, ()):
+                repo = self.zone_repos[repo_key]
+                entity = self.system.entity(repo.entity_key)
+                if entity.scheme.name != scheme_name:
+                    continue
+                matched.extend(
+                    (s.nid, s.iid) for s in repo.store.match_point(point)
+                )
+            if not matched:
+                # Takeover path: we are responsible for this key but hold
+                # no live repo -- a standby replica of the failed primary
+                # serves the match instead (replication extension).
+                for repo_key in self.standby_rendezvous.get(nid, ()):
+                    if repo_key in self.zone_repos:
+                        continue  # already served live above
+                    repo = self.standby_repos[repo_key]
+                    entity = self.system.entity(repo.entity_key)
+                    if entity.scheme.name != scheme_name:
+                        continue
+                    matched.extend(
+                        (s.nid, s.iid) for s in repo.store.match_point(point)
+                    )
+            return matched
+
+        # Local iid tables are only meaningful for OUR node id: being
+        # *responsible* for nid is weaker than *being* nid -- after a
+        # takeover we are responsible for a dead node's arc and its
+        # SubIDs route here, but its iid values must never be confused
+        # with our own (Algorithm 5 searches by the full SubID).
+        if nid == self.node_id:
+            if iid in self.own_subs:
+                entity_key, sub, _zone = self.own_subs[iid]
+                if sub.scheme_name != scheme_name:  # pragma: no cover - defensive
+                    return []
+                self.system.metrics.on_delivery(
+                    event_id,
+                    SubID(self.node_id, iid),
+                    self.addr,
+                    msg.hops,
+                    self.sim.now - msg.root_time,
+                )
+                self.system.notify_application(
+                    self.addr, event_id, SubID(self.node_id, iid)
+                )
+                return []
+
+            repo_key = self.marker_origin.get(iid)
+            if repo_key is not None:
+                # A surrogate subscription fired in a child zone: match
+                # the summarised repository (the climb toward the root).
+                repo = self.zone_repos[repo_key]
+                return [(s.nid, s.iid) for s in repo.store.match_point(point)]
+
+            entry = self.migrated.get(iid)
+            if entry is not None:
+                mig_scheme, store = entry
+                if mig_scheme != scheme_name:
+                    return []
+                return [(s.nid, s.iid) for s in store.match_point(point)]
+
+        # Takeover path: a surrogate subscription of a failed primary --
+        # we are the successor of its id, so its marker entries route
+        # here; serve the summarised repo from the standby replica.
+        standby_key = self.standby_markers.get((nid, iid))
+        if standby_key is not None and nid != self.node_id:
+            repo = self.standby_repos.get(standby_key)
+            if repo is not None:
+                entity = self.system.entity(repo.entity_key)
+                if entity.scheme.name == scheme_name:
+                    return [
+                        (s.nid, s.iid) for s in repo.store.match_point(point)
+                    ]
+
+        # Migrated store inherited from a gracefully departed node.
+        inherited = self.standby_migrated.get((nid, iid))
+        if inherited is not None and nid != self.node_id:
+            mig_scheme, store = inherited
+            if mig_scheme == scheme_name:
+                return [(s.nid, s.iid) for s in store.match_point(point)]
+
+        return []  # stale SubID (unsubscribed / departed): drop silently
+
+    # ------------------------------------------------------------------
+    # Section 4: dynamic subscription migration
+    # ------------------------------------------------------------------
+    def lb_start_round(self) -> None:
+        """Begin one probe-and-migrate round (no-op if one is running)."""
+        if self._lb_round is not None:
+            return
+        targets = self.neighbor_addrs()
+        if not targets:
+            return
+        self._lb_seq += 1
+        self._lb_round = {
+            "seq": self._lb_seq,
+            "pending": set(targets),
+            "samples": [],  # (load, node_id, addr)
+            "wave": 1,
+            "probed": set(targets) | {self.addr},
+        }
+        for addr in targets:
+            self._send_probe(addr)
+
+    def _send_probe(self, addr: int) -> None:
+        self.send(
+            Message(
+                src=self.addr,
+                dst=addr,
+                kind="ps_load_probe",
+                payload={
+                    "origin": self.addr,
+                    "seq": self._lb_round["seq"],
+                    "want_neighbors": self.system.config.migration_probe_level >= 2,
+                },
+                size_bytes=CONTROL_BYTES,
+            )
+        )
+
+    def _on_load_probe(self, msg: Message) -> None:
+        payload = {
+            "seq": msg.payload["seq"],
+            "load": self.load(),
+            "capacity": self.capacity,
+            "node_id": self.node_id,
+            "addr": self.addr,
+        }
+        if msg.payload.get("want_neighbors"):
+            payload["neighbors"] = self.neighbor_addrs()
+        self.send(
+            Message(
+                src=self.addr,
+                dst=msg.payload["origin"],
+                kind="ps_load_reply",
+                payload=payload,
+                size_bytes=CONTROL_BYTES,
+            )
+        )
+
+    def _on_load_reply(self, msg: Message) -> None:
+        state = self._lb_round
+        if state is None or msg.payload["seq"] != state["seq"]:
+            return
+        state["pending"].discard(msg.payload["addr"])
+        state["samples"].append(
+            (
+                msg.payload["load"],
+                msg.payload["node_id"],
+                msg.payload["addr"],
+                msg.payload.get("capacity", 1.0),
+            )
+        )
+        if state["wave"] == 1 and "neighbors" in msg.payload:
+            extra = [
+                a
+                for a in msg.payload["neighbors"]
+                if a not in state["probed"]
+            ]
+            for addr in extra:
+                state["probed"].add(addr)
+                state["pending"].add(addr)
+                self._send_probe(addr)
+        if not state["pending"]:
+            self._lb_decide()
+
+    def _lb_decide(self) -> None:
+        """Threshold check and acceptor selection (Section 4).
+
+        Loads are normalised by capacity: a node is overloaded when its
+        *per-unit-capacity* load exceeds the neighbourhood's
+        per-unit-capacity average by the threshold factor, and acceptors
+        are the neighbours with the most spare headroom.  With uniform
+        capacities (the paper's runs) this reduces to the plain rule.
+        """
+        state = self._lb_round
+        self._lb_round = None
+        samples = state["samples"]
+        if not samples:
+            return
+        total_load = sum(s[0] for s in samples)
+        total_cap = sum(s[3] for s in samples)
+        avg = total_load / max(total_cap, 1e-9)
+        my_load = self.load() / max(self.capacity, 1e-9)
+        delta = self.system.config.migration_delta
+        if my_load <= avg * (1.0 + delta) or my_load == 0:
+            return
+        lighter = sorted(
+            (s for s in samples if s[0] / max(s[3], 1e-9) < my_load),
+            key=lambda s: s[0] / max(s[3], 1e-9),
+        )
+        if not lighter:
+            return
+        k = min(self.system.config.migration_max_acceptors, len(lighter))
+        acceptors = lighter[:k]
+        # "nodes N, A1, A2, ..., Ak lie in the clockwise order on the ring"
+        acceptors.sort(key=lambda s: (s[1] - self.node_id) % (1 << 64))
+        self._migrate_to(acceptors)
+
+    def _migrate_to(self, acceptors: List[Tuple[int, int, int]]) -> None:
+        """Partition stored real subscriptions by subscriber-id arcs.
+
+        Subscriptions whose subscriber falls in [A_i, A_{i+1}) go to
+        A_i; the final arc [A_k, N) also goes to A_k.  Subscribers in
+        [N, A_1) stay local.  Entries are *copied* now and removed only
+        when the acceptor acknowledges, so no event can miss them in
+        transit.
+        """
+        ids = [a[1] for a in acceptors]  # samples are (load, id, addr, cap)
+        arcs: List[Tuple[int, int]] = []  # (arc_left, arc_right) per acceptor
+        for i in range(len(ids)):
+            left = ids[i]
+            right = ids[i + 1] if i + 1 < len(ids) else self.node_id
+            arcs.append((left, right))
+
+        for (_load, acc_id, acc_addr, _cap), (left, right) in zip(acceptors, arcs):
+            groups: List[dict] = []
+            payload_bytes = 0
+            for repo in self.zone_repos.values():
+                picked = [
+                    sid
+                    for sid in repo.store.subids()
+                    if repo.kinds.get(sid) == "sub"
+                    and id_in_interval(sid.nid, left, right, incl_left=True)
+                ]
+                if not picked:
+                    continue
+                entity = self.system.entity(repo.entity_key)
+                entries = []
+                for sid in picked:
+                    lo, hi = repo.store.get_box(sid)
+                    entries.append(((sid.nid, sid.iid), lo.tolist(), hi.tolist()))
+                groups.append(
+                    {
+                        "repo": list(repo.key),
+                        "scheme": entity.scheme.name,
+                        "entries": entries,
+                    }
+                )
+                payload_bytes += len(picked) * subscription_wire_bytes(
+                    entity.scheme.dimensions
+                )
+            if not groups:
+                continue
+            size = CONTROL_BYTES + payload_bytes
+            self.send(
+                Message(
+                    src=self.addr,
+                    dst=acc_addr,
+                    kind="ps_migrate",
+                    payload={"origin": self.addr, "groups": groups},
+                    size_bytes=size,
+                )
+            )
+
+    def _on_migrate(self, msg: Message) -> None:
+        """Acceptor side: store groups, summarise, acknowledge."""
+        acks = []
+        for group in msg.payload["groups"]:
+            scheme_name = group["scheme"]
+            dims = self.system.scheme(scheme_name).dimensions
+            store = BoxStore(dims)
+            for (nid, iid), lows, highs in group["entries"]:
+                store.put(
+                    SubID(nid, iid),
+                    np.asarray(lows, dtype=np.float64),
+                    np.asarray(highs, dtype=np.float64),
+                )
+            iid = self._next_iid()
+            self.migrated[iid] = (scheme_name, store)
+            bbox = store.bounding_box()
+            acks.append(
+                {
+                    "repo": group["repo"],
+                    "iid": iid,
+                    "lows": bbox[0].tolist(),
+                    "highs": bbox[1].tolist(),
+                    "subids": [e[0] for e in group["entries"]],
+                }
+            )
+        dims = max(len(a["lows"]) for a in acks)
+        self.send(
+            Message(
+                src=self.addr,
+                dst=msg.payload["origin"],
+                kind="ps_migrate_ack",
+                payload={"acceptor_id": self.node_id, "acks": acks},
+                size_bytes=CONTROL_BYTES + len(acks) * subscription_wire_bytes(dims),
+            )
+        )
+
+    def _on_migrate_ack(self, msg: Message) -> None:
+        """Origin side: swap migrated entries for one summarising marker."""
+        acc_id = msg.payload["acceptor_id"]
+        for ack in msg.payload["acks"]:
+            repo = self.zone_repos.get(tuple(ack["repo"]))
+            if repo is None:  # pragma: no cover - defensive
+                continue
+            for nid, iid in ack["subids"]:
+                sid = SubID(nid, iid)
+                if sid in repo.store:
+                    repo.store.remove(sid)
+                    repo.kinds.pop(sid, None)
+            marker = SubID(acc_id, ack["iid"])
+            repo.store.put(
+                marker,
+                np.asarray(ack["lows"], dtype=np.float64),
+                np.asarray(ack["highs"], dtype=np.float64),
+            )
+            repo.kinds[marker] = "migr"
+
+
+class HyperSubChordNode(PubSubNodeMixin, ChordNode):
+    """The paper's configuration: HyperSub over Chord(-PNS)."""
+
+    def __init__(self, addr: int, node_id: int, network, system=None, **kwargs) -> None:
+        ChordNode.__init__(self, addr, node_id, network, **kwargs)
+        self._init_pubsub(system)
+
+
+class HyperSubPastryNode(PubSubNodeMixin, PastryNode):
+    """Portability extension: identical pub/sub logic over Pastry."""
+
+    def __init__(self, addr: int, node_id: int, network, system=None, **kwargs) -> None:
+        PastryNode.__init__(self, addr, node_id, network, **kwargs)
+        self._init_pubsub(system)

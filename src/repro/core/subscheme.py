@@ -1,0 +1,146 @@
+"""Subscheme splitting (Section 3.5, "Improvement").
+
+Subscriptions that leave attributes unspecified cover the full domain
+on those dimensions, so they hash to large, shallow content zones --
+concentrating load and defeating locality.  The fix: "we divide a
+pub/sub scheme S into several subschemes based on the investigation of
+subscribers' behavior.  Each subscheme S_i consists of several
+attributes of S and functions as an individual entity.  Subscription
+installation is performed on the subscheme, while each event has one
+corresponding rendezvous zone for each subscheme."
+
+:class:`PubSubEntity` is the unit the rest of the system works with:
+an *entity* is either a whole scheme or one subscheme.  Each entity has
+its own zone tree (over its projected dimensions) and its own rotation
+offset phi (Section 4, zone-mapping rotation).  A subscription is
+installed under exactly one entity -- the one covering the most of its
+specified attributes -- so no event is delivered twice; events carry
+one rendezvous entry per entity of their scheme.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.lph import lph_box, lph_point
+from repro.core.scheme import Scheme
+from repro.core.subscription import Subscription
+from repro.core.zones import ContentZone, ZoneGeometry
+from repro.dht.idspace import ID_SPACE, consistent_hash_64
+
+
+class PubSubEntity:
+    """One scheme or subscheme: a zone tree over a dimension subset."""
+
+    def __init__(
+        self,
+        key: str,
+        scheme: Scheme,
+        dims: Sequence[int],
+        geometry: ZoneGeometry,
+        rotation: int = 0,
+    ) -> None:
+        if not dims:
+            raise ValueError("entity needs at least one dimension")
+        if len(set(dims)) != len(dims):
+            raise ValueError("duplicate dimensions in entity")
+        for d in dims:
+            if not 0 <= d < scheme.dimensions:
+                raise ValueError(f"dimension {d} outside scheme")
+        self.key = key
+        self.scheme = scheme
+        self.dims = np.array(sorted(dims), dtype=np.intp)
+        self.geometry = geometry
+        self.rotation = rotation % ID_SPACE
+        self.domain_lows = scheme.domain_lows()[self.dims]
+        self.domain_highs = scheme.domain_highs()[self.dims]
+
+    # ------------------------------------------------------------------
+    def zone_of_subscription(self, sub: Subscription) -> ContentZone:
+        """Smallest covering zone of the subscription's projection."""
+        return lph_box(
+            sub.lows[self.dims],
+            sub.highs[self.dims],
+            self.domain_lows,
+            self.domain_highs,
+            self.geometry,
+        )
+
+    def zone_of_point(self, point: np.ndarray) -> ContentZone:
+        """Leaf rendezvous zone of an event's projection."""
+        return lph_point(
+            np.asarray(point)[self.dims],
+            self.domain_lows,
+            self.domain_highs,
+            self.geometry,
+        )
+
+    def rotated_key(self, zone: ContentZone) -> int:
+        """Zone key shifted by the entity's rotation offset phi."""
+        return (zone.key + self.rotation) % ID_SPACE
+
+    def zone_box_projected(self, zone: ContentZone) -> Tuple[np.ndarray, np.ndarray]:
+        return zone.box(self.domain_lows, self.domain_highs)
+
+    def specified_count(self, sub: Subscription) -> int:
+        """How many of this entity's dimensions the subscription pins."""
+        return int(sub.specified[self.dims].sum())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PubSubEntity({self.key!r}, dims={list(self.dims)})"
+
+
+def build_entities(
+    scheme: Scheme,
+    geometry: ZoneGeometry,
+    subschemes: Optional[Sequence[Sequence[str]]] = None,
+    rotation: bool = True,
+) -> List[PubSubEntity]:
+    """Create the entity list for a scheme.
+
+    ``subschemes`` is a partition of attribute names; ``None`` keeps the
+    scheme whole (a single entity).  Rotation offsets come from hashing
+    the entity key, matching the paper's consistent-hash construction.
+    """
+    if subschemes is None:
+        groups = [[a.name for a in scheme.attributes]]
+    else:
+        groups = [list(g) for g in subschemes]
+        flat = [name for g in groups for name in g]
+        expected = [a.name for a in scheme.attributes]
+        if sorted(flat) != sorted(expected):
+            raise ValueError(
+                "subschemes must partition the scheme's attributes exactly; "
+                f"got {sorted(flat)}, expected {sorted(expected)}"
+            )
+        if any(not g for g in groups):
+            raise ValueError("empty subscheme group")
+
+    entities: List[PubSubEntity] = []
+    for i, group in enumerate(groups):
+        key = scheme.name if len(groups) == 1 else f"{scheme.name}/{i}"
+        dims = [scheme.attr_index(name) for name in group]
+        phi = consistent_hash_64(key.encode()) if rotation else 0
+        entities.append(PubSubEntity(key, scheme, dims, geometry, rotation=phi))
+    return entities
+
+
+def entity_for_subscription(
+    entities: Sequence[PubSubEntity], sub: Subscription
+) -> PubSubEntity:
+    """Pick the installation entity: most specified dimensions wins.
+
+    Installing under exactly one entity keeps deliveries exactly-once;
+    the chosen entity maximises zone depth (hence locality) for this
+    subscription.  Ties resolve to the first entity for determinism.
+    """
+    best = entities[0]
+    best_count = -1
+    for ent in entities:
+        c = ent.specified_count(sub)
+        if c > best_count:
+            best = ent
+            best_count = c
+    return best

@@ -1,0 +1,96 @@
+"""Summary filters (Section 3.3).
+
+"Each content zone cz maintains a summary filter sf which is defined as
+the smallest hypercuboid that can exactly cover all subscriptions
+registered in cz.  If level(cz) < m, sf is then subdivided to fit in
+with the child content zones of cz.  For each subdivision sf_i, the
+surrogate node registers it to the corresponding child content zone
+... as a surrogate subscription."
+
+These helpers are pure box arithmetic; the cascade itself (who sends
+which registration where) lives in :mod:`repro.core.node`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.zones import ContentZone
+
+Box = Tuple[np.ndarray, np.ndarray]
+
+
+def merge_box(current: Optional[Box], addition: Box) -> Tuple[Box, bool]:
+    """Grow ``current`` to also cover ``addition``.
+
+    Returns ``(merged, changed)``.  Summary filters only ever grow
+    (subscription removal shrinks load, not filters -- a conservative,
+    still-correct over-approximation, and what keeps filter maintenance
+    "light-weight").
+    """
+    add_lows, add_highs = addition
+    if current is None:
+        return (np.array(add_lows, dtype=np.float64), np.array(add_highs, dtype=np.float64)), True
+    cur_lows, cur_highs = current
+    new_lows = np.minimum(cur_lows, add_lows)
+    new_highs = np.maximum(cur_highs, add_highs)
+    changed = bool(np.any(new_lows < cur_lows) or np.any(new_highs > cur_highs))
+    return (new_lows, new_highs), changed
+
+
+def boxes_equal(a: Optional[Box], b: Optional[Box]) -> bool:
+    if a is None or b is None:
+        return a is b
+    return bool(np.array_equal(a[0], b[0]) and np.array_equal(a[1], b[1]))
+
+
+def intersect_box(a: Box, b: Box) -> Optional[Box]:
+    """Closed-interval intersection, ``None`` when empty."""
+    lows = np.maximum(a[0], b[0])
+    highs = np.minimum(a[1], b[1])
+    if np.any(highs < lows):
+        return None
+    return lows, highs
+
+
+def child_pieces(
+    zone: ContentZone,
+    sf: Box,
+    zone_box_projected: Box,
+    entity_dims,
+) -> Dict[int, Box]:
+    """Subdivide a zone's summary filter to fit its child zones.
+
+    Boxes stored in repositories (and therefore ``sf``) live in the
+    *full* scheme space so events can be matched on every attribute,
+    but the zone tree of a subscheme entity only partitions the
+    entity's own dimensions.  ``zone_box_projected`` is the zone's
+    hyper-rectangle in the entity's projected space; children split
+    projected dimension ``zone.level mod k`` which corresponds to full
+    dimension ``entity_dims[that]``.
+
+    Returns ``{child digit: sf ∩ child_box}`` for non-empty pieces.
+    Closed-interval intersection may produce a measure-zero sliver on a
+    shared boundary; that only costs a spurious surrogate registration,
+    never a missed delivery.
+    """
+    k = len(entity_dims)
+    j_proj = zone.split_dimension(k)
+    j_full = int(entity_dims[j_proj])
+    z_lows, z_highs = zone_box_projected
+    base = zone.geometry.base
+    width = (z_highs[j_proj] - z_lows[j_proj]) / base
+    out: Dict[int, Box] = {}
+    for digit in range(base):
+        seg_lo = z_lows[j_proj] + digit * width
+        seg_hi = seg_lo + width
+        if sf[0][j_full] > seg_hi or sf[1][j_full] < seg_lo:
+            continue
+        piece_lows = sf[0].copy()
+        piece_highs = sf[1].copy()
+        piece_lows[j_full] = max(piece_lows[j_full], seg_lo)
+        piece_highs[j_full] = min(piece_highs[j_full], seg_hi)
+        out[digit] = (piece_lows, piece_highs)
+    return out

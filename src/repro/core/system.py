@@ -1,0 +1,410 @@
+"""System facade and measurement plumbing.
+
+:class:`HyperSubSystem` owns the simulator, the network, the overlay
+and the scheme registry, and exposes the user-level operations:
+``add_scheme``, ``subscribe``, ``publish``.  :class:`Metrics` collects
+exactly the quantities the paper's evaluation reports (Section 5.1):
+per-event max hops / max latency / bandwidth cost and matched counts,
+plus per-node load and in/out bandwidth (the latter from the network's
+byte counters).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import HyperSubConfig
+from repro.core.event import Event
+from repro.core.node import HyperSubChordNode, HyperSubPastryNode
+from repro.core.scheme import Scheme
+from repro.core.subscheme import (
+    PubSubEntity,
+    build_entities,
+    entity_for_subscription,
+)
+from repro.core.subscription import SubID, Subscription
+from repro.dht.chord import build_chord_overlay
+from repro.dht.pastry import build_pastry_overlay
+from repro.sim.engine import Simulator
+from repro.sim.network import Network
+from repro.sim.stats import Distribution
+from repro.sim.topology import KingLikeTopology, Topology
+
+
+@dataclass
+class EventRecord:
+    """Everything measured about one published event."""
+
+    event_id: int
+    scheme: str
+    publisher_addr: int
+    publish_time: float
+    #: (subid, subscriber addr, hops, latency ms) per delivery
+    deliveries: List[Tuple[SubID, int, int, float]] = field(default_factory=list)
+    bytes: float = 0.0
+    messages: int = 0
+    #: (src addr, dst addr, #subids) per forwarded packet; only filled
+    #: while the owning system's ``tracing`` flag is on
+    edges: List[Tuple[int, int, int]] = field(default_factory=list)
+
+    @property
+    def matched(self) -> int:
+        return len(self.deliveries)
+
+    @property
+    def max_hops(self) -> int:
+        return max((d[2] for d in self.deliveries), default=0)
+
+    @property
+    def max_latency_ms(self) -> float:
+        return max((d[3] for d in self.deliveries), default=0.0)
+
+
+class Metrics:
+    """Run-wide collection of the paper's cost metrics."""
+
+    def __init__(self) -> None:
+        self.records: Dict[int, EventRecord] = {}
+        self.subscriptions_by_scheme: Dict[str, int] = {}
+        self._next_event_id = 0
+
+    # -- population -----------------------------------------------------
+    def count_subscription(self, scheme_name: str) -> None:
+        self.subscriptions_by_scheme[scheme_name] = (
+            self.subscriptions_by_scheme.get(scheme_name, 0) + 1
+        )
+
+    @property
+    def total_subscriptions(self) -> int:
+        return sum(self.subscriptions_by_scheme.values())
+
+    def new_event(self, event: Event, publisher_addr: int, now: float) -> int:
+        self._next_event_id += 1
+        eid = self._next_event_id
+        self.records[eid] = EventRecord(
+            event_id=eid,
+            scheme=event.scheme_name,
+            publisher_addr=publisher_addr,
+            publish_time=now,
+        )
+        return eid
+
+    def on_event_message(self, event_id: int, size_bytes: int) -> None:
+        rec = self.records.get(event_id)
+        if rec is not None:
+            rec.bytes += size_bytes
+            rec.messages += 1
+
+    def on_event_edge(
+        self, event_id: int, src: int, dst: int, n_entries: int
+    ) -> None:
+        rec = self.records.get(event_id)
+        if rec is not None:
+            rec.edges.append((src, dst, n_entries))
+
+    def on_delivery(
+        self,
+        event_id: int,
+        subid: SubID,
+        subscriber_addr: int,
+        hops: int,
+        latency_ms: float,
+    ) -> None:
+        rec = self.records.get(event_id)
+        if rec is not None:
+            rec.deliveries.append((subid, subscriber_addr, hops, latency_ms))
+
+    def clear_events(self) -> None:
+        """Forget event records (subscription counters persist)."""
+        self.records.clear()
+
+    # -- summaries (the series the figures plot) -------------------------
+    def matched_percentages(self) -> Distribution:
+        total = max(self.total_subscriptions, 1)
+        return Distribution.from_values(
+            100.0 * r.matched / total for r in self.records.values()
+        )
+
+    def max_hops(self) -> Distribution:
+        return Distribution.from_values(r.max_hops for r in self.records.values())
+
+    def max_latencies(self) -> Distribution:
+        return Distribution.from_values(
+            r.max_latency_ms for r in self.records.values()
+        )
+
+    def bandwidth_per_event_kb(self) -> Distribution:
+        return Distribution.from_values(
+            r.bytes / 1024.0 for r in self.records.values()
+        )
+
+    def delivery_ratio(self, expected: Dict[int, int]) -> float:
+        """Fraction of expected deliveries that happened (churn metric)."""
+        want = sum(expected.values())
+        if want == 0:
+            return 1.0
+        got = sum(
+            min(self.records[eid].matched, n)
+            for eid, n in expected.items()
+            if eid in self.records
+        )
+        return got / want
+
+
+class HyperSubSystem:
+    """A complete HyperSub deployment inside one simulator.
+
+    Typical use::
+
+        system = HyperSubSystem(num_nodes=1740, config=HyperSubConfig())
+        system.add_scheme(scheme)
+        system.subscribe(addr, Subscription(scheme, [...]))
+        system.finish_setup()          # drain installs, reset counters
+        system.publish(addr, Event(scheme, {...}))
+        system.run_until_idle()
+        system.metrics.max_hops().summary()
+    """
+
+    def __init__(
+        self,
+        num_nodes: Optional[int] = None,
+        config: Optional[HyperSubConfig] = None,
+        topology: Optional[Topology] = None,
+        target_mean_rtt_ms: Optional[float] = None,
+        active_nodes: Optional[int] = None,
+    ) -> None:
+        """``active_nodes`` (Chord only) builds the overlay over just the
+        first ``active_nodes`` network addresses; the remaining addresses
+        are reserved for :meth:`join_node` (live membership extension)."""
+        self.config = config or HyperSubConfig()
+        if topology is None:
+            if num_nodes is None:
+                raise ValueError("provide num_nodes or a topology")
+            kwargs = {}
+            if target_mean_rtt_ms is not None:
+                kwargs["target_mean_rtt_ms"] = target_mean_rtt_ms
+            topology = KingLikeTopology(num_nodes, seed=self.config.seed, **kwargs)
+        elif num_nodes is not None and num_nodes != topology.size:
+            raise ValueError("num_nodes disagrees with the topology size")
+        self.topology = topology
+        self.sim = Simulator()
+        self.network = Network(self.sim, topology)
+        self.metrics = Metrics()
+
+        factory = self._node_factory()
+        if self.config.overlay == "chord":
+            from repro.dht.idspace import random_ids
+
+            self._all_ids = random_ids(self.topology.size, self.config.seed)
+            initial = (
+                self._all_ids[:active_nodes]
+                if active_nodes is not None
+                else self._all_ids
+            )
+            self.nodes, self.ring = build_chord_overlay(
+                self.network,
+                seed=self.config.seed,
+                pns=self.config.pns,
+                pns_samples=self.config.pns_samples,
+                node_factory=factory,
+                node_ids=initial,
+            )
+        else:
+            if active_nodes is not None:
+                raise ValueError("live joins are only supported on chord")
+            self.nodes, self.ring = build_pastry_overlay(
+                self.network,
+                seed=self.config.seed,
+                proximity_samples=self.config.pns_samples,
+                node_factory=factory,
+            )
+
+        self.schemes: Dict[str, Scheme] = {}
+        self._entities_by_scheme: Dict[str, List[PubSubEntity]] = {}
+        self._entity_by_key: Dict[str, PubSubEntity] = {}
+        #: shallow zones (level < direct_rendezvous_levels) that hold at
+        #: least one registration.  With R levels there are fewer than
+        #: base**R such zones per entity, so a real deployment would keep
+        #: this as a tiny bitmap gossiped or piggybacked on DHT
+        #: maintenance traffic (the paper's Section 6 piggybacking
+        #: suggestion); the simulation models it as an oracle because its
+        #: refresh traffic is negligible next to event delivery.
+        #: Occupancy is monotone (never unset), like summary filters.
+        self._shallow_occupied: set = set()
+        #: optional application callback: fn(addr, event_id, subid)
+        self.on_deliver: Optional[Callable[[int, int, SubID], None]] = None
+        #: record per-event dissemination edges (see repro.analysis.trace)
+        self.tracing: bool = False
+
+    def _node_factory(self):
+        cls = (
+            HyperSubChordNode
+            if self.config.overlay == "chord"
+            else HyperSubPastryNode
+        )
+
+        def factory(addr, node_id, network, **kwargs):
+            return cls(addr, node_id, network, system=self, **kwargs)
+
+        return factory
+
+    # ------------------------------------------------------------------
+    # Scheme registry
+    # ------------------------------------------------------------------
+    def add_scheme(
+        self,
+        scheme: Scheme,
+        subschemes: Optional[Sequence[Sequence[str]]] = None,
+    ) -> List[PubSubEntity]:
+        """Register a pub/sub scheme, optionally split into subschemes."""
+        if scheme.name in self.schemes:
+            raise ValueError(f"scheme {scheme.name!r} already registered")
+        entities = build_entities(
+            scheme,
+            self.config.geometry,
+            subschemes=subschemes,
+            rotation=self.config.rotation,
+        )
+        self.schemes[scheme.name] = scheme
+        self._entities_by_scheme[scheme.name] = entities
+        for ent in entities:
+            self._entity_by_key[ent.key] = ent
+        return entities
+
+    def scheme(self, name: str) -> Scheme:
+        return self.schemes[name]
+
+    def entities_of(self, scheme_name: str) -> List[PubSubEntity]:
+        return self._entities_by_scheme[scheme_name]
+
+    def entity(self, key: str) -> PubSubEntity:
+        return self._entity_by_key[key]
+
+    def entity_for_subscription(self, sub: Subscription) -> PubSubEntity:
+        return entity_for_subscription(
+            self._entities_by_scheme[sub.scheme_name], sub
+        )
+
+    # ------------------------------------------------------------------
+    # Key -> home resolution (global knowledge; setup/fast paths only)
+    # ------------------------------------------------------------------
+    def home_addr(self, key: int) -> int:
+        if self.config.overlay == "chord":
+            return self.ring.addr(self.ring.successor(key))
+        return self.ring.addr(self.ring.numerically_closest(key))
+
+    def node_at_home(self, key: int):
+        return self.nodes[self.home_addr(key)]
+
+    # ------------------------------------------------------------------
+    # User operations
+    # ------------------------------------------------------------------
+    def subscribe(self, addr: int, sub: Subscription) -> SubID:
+        if sub.scheme_name not in self.schemes:
+            raise KeyError(f"unknown scheme {sub.scheme_name!r}")
+        return self.nodes[addr].subscribe(sub)
+
+    def unsubscribe(self, addr: int, subid: SubID) -> None:
+        self.nodes[addr].unsubscribe(subid)
+
+    def publish(self, addr: int, event: Event) -> int:
+        if event.scheme_name not in self.schemes:
+            raise KeyError(f"unknown scheme {event.scheme_name!r}")
+        return self.nodes[addr].publish(event)
+
+    def schedule_publish(self, at_ms: float, addr: int, event: Event) -> None:
+        """Publish at an absolute simulated time (workload drivers)."""
+        self.sim.schedule_at(at_ms, self.publish, addr, event)
+
+    # ------------------------------------------------------------------
+    # Phases
+    # ------------------------------------------------------------------
+    def finish_setup(self) -> None:
+        """Drain installation traffic and zero the byte counters.
+
+        Mirrors the paper's methodology: subscriptions are initialised,
+        the system stabilises, *then* events are scheduled and measured.
+        """
+        self.sim.run_until_idle()
+        self.network.stats.reset()
+        self.metrics.clear_events()
+
+    def run(self, until: Optional[float] = None) -> int:
+        return self.sim.run(until=until)
+
+    def run_until_idle(self) -> int:
+        return self.sim.run_until_idle()
+
+    # ------------------------------------------------------------------
+    # Load balancing entry points
+    # ------------------------------------------------------------------
+    def run_migration_rounds(self, rounds: int = 1, stagger_ms: float = 1.0) -> None:
+        """Quiescent-phase migration: every node runs `rounds` full
+        probe-and-migrate rounds (used between setup and events)."""
+        from repro.core.loadbalance import run_static_rounds
+
+        run_static_rounds(self, rounds=rounds, stagger_ms=stagger_ms)
+
+    def start_periodic_migration(self) -> None:
+        from repro.core.loadbalance import start_periodic
+
+        start_periodic(self)
+
+    # ------------------------------------------------------------------
+    # Observations
+    # ------------------------------------------------------------------
+    def join_node(self, bootstrap_addr: int = 0):
+        """Bring a reserved network address into the overlay live.
+
+        The node runs Chord's join protocol against ``bootstrap_addr``;
+        once stabilization makes it the successor of its arc, the old
+        owner hands over the rendezvous repositories whose keys moved
+        (``ps_handoff``).  Returns the new node's address.  The global
+        ring oracle is updated immediately, so avoid fast-path
+        subscribe() for keys in the joining arc until the ring settles.
+        """
+        if self.config.overlay != "chord":
+            raise ValueError("live joins are only supported on chord")
+        addr = len(self.nodes)
+        if addr >= self.topology.size:
+            raise ValueError("no reserved network addresses left")
+        node = self._node_factory()(addr, self._all_ids[addr], self.network)
+        self.nodes.append(node)
+        self.ring.add(node.node_id, addr)
+        node.join(self.nodes[bootstrap_addr])
+        return addr
+
+    def make_store(self, entity: PubSubEntity):
+        """Subscription store for one zone repo, per ``matching_index``."""
+        from repro.core.indexing import make_store
+
+        scheme = entity.scheme
+        return make_store(
+            self.config.matching_index,
+            scheme.dimensions,
+            domain_lows=scheme.domain_lows(),
+            domain_highs=scheme.domain_highs(),
+        )
+
+    def mark_shallow_occupied(self, repo_key: Tuple[str, int, int]) -> None:
+        self._shallow_occupied.add(repo_key)
+
+    def shallow_occupied(self, repo_key: Tuple[str, int, int]) -> bool:
+        return repo_key in self._shallow_occupied
+
+    def node_loads(self) -> np.ndarray:
+        """Stored-subscription count per node (Figure 4's quantity)."""
+        return np.array([n.load() for n in self.nodes], dtype=np.int64)
+
+    def notify_application(self, addr: int, event_id: int, subid: SubID) -> None:
+        if self.on_deliver is not None:
+            self.on_deliver(addr, event_id, subid)
+
+    def in_bandwidth_kb(self) -> np.ndarray:
+        return self.network.stats.in_bytes / 1024.0
+
+    def out_bandwidth_kb(self) -> np.ndarray:
+        return self.network.stats.out_bytes / 1024.0

@@ -1,0 +1,38 @@
+"""Structured-overlay (DHT) substrates.
+
+HyperSub is built on Chord with proximity neighbour selection
+(Chord-PNS, the configuration the paper simulates); the design also
+claims applicability to other DHTs, so a Pastry implementation is
+provided behind the same :class:`~repro.dht.base.OverlayNode`
+interface (paper Section 6, future work).
+"""
+
+from repro.dht.idspace import (
+    ID_BITS,
+    ID_SPACE,
+    id_in_interval,
+    cw_distance,
+    random_ids,
+)
+from repro.dht.ring import SortedRing
+from repro.dht.base import OverlayNode, LookupResult
+from repro.dht.chord import ChordNode, build_chord_overlay
+from repro.dht.pastry import PastryNode, build_pastry_overlay
+from repro.dht.koorde import KoordeNode, build_koorde_overlay
+
+__all__ = [
+    "ID_BITS",
+    "ID_SPACE",
+    "id_in_interval",
+    "cw_distance",
+    "random_ids",
+    "SortedRing",
+    "OverlayNode",
+    "LookupResult",
+    "ChordNode",
+    "build_chord_overlay",
+    "PastryNode",
+    "build_pastry_overlay",
+    "KoordeNode",
+    "build_koorde_overlay",
+]

@@ -1,0 +1,167 @@
+"""Common overlay-node interface.
+
+HyperSub's pub/sub layer needs exactly three things from the DHT
+(paper Section 3):
+
+1. ``lookup(key)`` -- locate the node responsible for a key (used for
+   subscription installation and event publication, Algorithms 2 & 4);
+2. per-node routing -- ``next_hop_addr(key)`` plus ``is_responsible`` --
+   so event delivery can ride the *embedded trees* of the overlay
+   (Algorithm 5) instead of maintaining dissemination trees;
+3. a neighbour set, used by the dynamic load balancer for sampling.
+
+Both :class:`~repro.dht.chord.ChordNode` and
+:class:`~repro.dht.pastry.PastryNode` implement this interface, which is
+how the repository demonstrates the paper's claim that "the techniques
+... are applicable to other DHTs".
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.sim.messages import CONTROL_BYTES, Message
+from repro.sim.network import Network, SimNode
+
+_lookup_ids = itertools.count()
+
+
+@dataclass
+class LookupResult:
+    """Outcome of an iterative DHT lookup."""
+
+    key: int
+    home_addr: int
+    home_id: int
+    hops: int
+    latency_ms: float
+
+
+class OverlayNode(SimNode):
+    """A DHT node: a :class:`SimNode` with an identifier and routing."""
+
+    def __init__(self, addr: int, node_id: int, network: Network) -> None:
+        super().__init__(addr, network)
+        self.node_id = node_id
+        self._handlers: Dict[str, Callable[[Message], None]] = {}
+        self._pending_lookups: Dict[int, dict] = {}
+        self.register_handler("dht_lookup_step", self._on_lookup_step)
+        self.register_handler("dht_lookup_reply", self._on_lookup_reply)
+        self._alive = True
+
+    # ------------------------------------------------------------------
+    # Message dispatch
+    # ------------------------------------------------------------------
+    def register_handler(self, kind: str, fn: Callable[[Message], None]) -> None:
+        if kind in self._handlers:
+            raise ValueError(f"duplicate handler for {kind!r}")
+        self._handlers[kind] = fn
+
+    def handle_message(self, msg: Message) -> None:
+        handler = self._handlers.get(msg.kind)
+        if handler is None:
+            raise KeyError(f"{type(self).__name__} has no handler for {msg.kind!r}")
+        handler(msg)
+
+    def alive(self) -> bool:
+        return self._alive
+
+    def fail(self) -> None:
+        """Crash-stop this node (churn experiments)."""
+        self._alive = False
+
+    # ------------------------------------------------------------------
+    # Routing interface implemented by concrete overlays
+    # ------------------------------------------------------------------
+    def is_responsible(self, key: int) -> bool:  # pragma: no cover - abstract
+        """Does this node own ``key`` under the overlay's convention?"""
+        raise NotImplementedError
+
+    def next_hop_addr(self, key: int) -> Optional[int]:  # pragma: no cover
+        """Address of the next routing hop toward ``key``.
+
+        Returns ``None`` when this node is itself responsible.  Must
+        make strict progress: following ``next_hop_addr`` from any node
+        terminates at the responsible node.
+        """
+        raise NotImplementedError
+
+    def neighbor_addrs(self) -> List[int]:  # pragma: no cover - abstract
+        """Distinct addresses of routing-state neighbours."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Iterative lookup (Algorithms 2 & 4 call this as ``lookup()``)
+    # ------------------------------------------------------------------
+    def lookup(self, key: int, callback: Callable[[LookupResult], None]) -> None:
+        """Asynchronously resolve ``successor(key)``.
+
+        Iterative style: this node queries each hop in turn; every step
+        costs one round trip of two control packets, mirroring p2psim's
+        Chord lookup accounting.
+        """
+        lid = next(_lookup_ids)
+        self._pending_lookups[lid] = {
+            "key": key,
+            "callback": callback,
+            "hops": 0,
+            "start": self.sim.now,
+        }
+        self._lookup_query(lid, key, self.addr)
+
+    def _lookup_query(self, lid: int, key: int, target_addr: int) -> None:
+        msg = Message(
+            src=self.addr,
+            dst=target_addr,
+            kind="dht_lookup_step",
+            payload={"key": key, "lid": lid, "origin": self.addr},
+            size_bytes=CONTROL_BYTES,
+        )
+        self.send(msg)
+
+    def _on_lookup_step(self, msg: Message) -> None:
+        key = msg.payload["key"]
+        nxt = self.next_hop_addr(key)
+        reply = Message(
+            src=self.addr,
+            dst=msg.payload["origin"],
+            kind="dht_lookup_reply",
+            payload={
+                "lid": msg.payload["lid"],
+                "key": key,
+                "done": nxt is None,
+                "next": self.addr if nxt is None else nxt,
+                "node_id": self.node_id,
+            },
+            size_bytes=CONTROL_BYTES,
+        )
+        self.send(reply)
+
+    def _on_lookup_reply(self, msg: Message) -> None:
+        lid = msg.payload["lid"]
+        state = self._pending_lookups.get(lid)
+        if state is None:
+            return
+        state["hops"] += 1
+        if state["hops"] > 4 * max(4, self.network.topology.size.bit_length() * 4):
+            # Routing loop guard; overlay invariants are broken if hit.
+            del self._pending_lookups[lid]
+            raise RuntimeError(f"lookup for key {state['key']} did not converge")
+        if msg.payload["done"]:
+            del self._pending_lookups[lid]
+            result = LookupResult(
+                key=state["key"],
+                home_addr=msg.payload["next"],
+                home_id=msg.payload["node_id"],
+                hops=state["hops"],
+                latency_ms=self.sim.now - state["start"],
+            )
+            state["callback"](result)
+        else:
+            self._lookup_query(lid, state["key"], msg.payload["next"])
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(addr={self.addr}, id={self.node_id:016x})"

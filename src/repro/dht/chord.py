@@ -1,0 +1,501 @@
+"""Chord (Stoica et al., SIGCOMM'01) with proximity neighbour selection.
+
+Two construction modes:
+
+* **Static** (:func:`build_chord_overlay`) -- every node's predecessor,
+  successor list and finger table are computed from the global ring.
+  This mirrors the paper's methodology ("the simulation starts by
+  initializing subscriptions on each node ... after system
+  stabilization, we schedule events"): measurements run on a stabilised
+  overlay.
+* **Dynamic** -- :meth:`ChordNode.join`, periodic
+  :meth:`ChordNode.stabilize` / :meth:`ChordNode.fix_fingers`, graceful
+  :meth:`ChordNode.leave` and crash-stop :meth:`ChordNode.fail`, used by
+  the churn experiments (paper Section 6 lists churn behaviour as future
+  work; we implement it as the extension).
+
+Responsibility convention: a node owns key ``k`` iff
+``k in (predecessor, self]`` on the clockwise ring, i.e. the node is
+``successor(k)``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.dht.base import OverlayNode
+from repro.dht.idspace import ID_BITS, cw_distance, id_add, id_in_interval, random_ids
+from repro.dht.pns import build_finger_table
+from repro.dht.ring import SortedRing
+from repro.sim.messages import CONTROL_BYTES, Message
+from repro.sim.network import Network
+
+_rpc_ids = itertools.count()
+
+#: Default successor-list length (p2psim Chord default neighbourhood).
+DEFAULT_SUCC_LIST = 8
+#: Consecutive RPC timeouts before a neighbour is presumed dead.
+DEFAULT_SUSPICION_THRESHOLD = 3
+
+
+class ChordNode(OverlayNode):
+    """One Chord participant."""
+
+    suspicion_threshold = DEFAULT_SUSPICION_THRESHOLD
+
+    def __init__(
+        self,
+        addr: int,
+        node_id: int,
+        network: Network,
+        succ_list_len: int = DEFAULT_SUCC_LIST,
+        stabilize_interval_ms: float = 500.0,
+        rpc_timeout_ms: float = 2000.0,
+    ) -> None:
+        super().__init__(addr, node_id, network)
+        self.succ_list_len = succ_list_len
+        self.stabilize_interval_ms = stabilize_interval_ms
+        self.rpc_timeout_ms = rpc_timeout_ms
+
+        self.predecessor: Optional[Tuple[int, int]] = None  # (id, addr)
+        self.successors: List[Tuple[int, int]] = []  # clockwise order
+        self.fingers: Dict[int, Tuple[int, int]] = {}
+        #: called as fn(old_pred_id, new_pred_id) when the owned arc
+        #: shrinks (a joiner slid in) or grows (takeover after failure)
+        self.on_predecessor_change: Optional[
+            Callable[[Optional[int], Optional[int]], None]
+        ] = None
+
+        self._next_fix_finger = 0
+        self._pending_rpcs: Dict[int, dict] = {}
+        self._running_maintenance = False
+        #: consecutive unanswered RPCs per neighbour id.  A neighbour is
+        #: evicted only after ``suspicion_threshold`` misses in a row:
+        #: on lossy links a single timeout is far more likely a dropped
+        #: packet than a death, and hair-trigger eviction makes the ring
+        #: flap forever (a live successor gets dropped, re-learned via
+        #: notify, dropped again...).
+        self._suspicion: Dict[int, int] = {}
+        #: piggybacked ring state absorbed from application traffic:
+        #: sender id -> (sim time, sender predecessor, sender successor).
+        #: When fresh, stabilize/check_predecessor skip their dedicated
+        #: RPCs (the paper's Section 6 piggybacking direction).
+        self._pb_info: Dict[int, Tuple[float, Optional[Tuple[int, int]], Optional[Tuple[int, int]]]] = {}
+
+        self.register_handler("chord_get_state", self._on_get_state)
+        self.register_handler("chord_state_reply", self._on_state_reply)
+        self.register_handler("chord_notify", self._on_notify)
+        self.register_handler("chord_leave", self._on_leave)
+        self.register_handler("chord_ping", self._on_ping)
+        self.register_handler("chord_pong", self._on_pong)
+
+    # ------------------------------------------------------------------
+    # Routing (OverlayNode interface)
+    # ------------------------------------------------------------------
+    def is_responsible(self, key: int) -> bool:
+        if self.predecessor is None:
+            # Bootstrapping/single node: own everything we are asked about.
+            return not self.successors or key == self.node_id
+        return id_in_interval(
+            key, self.predecessor[0], self.node_id, incl_right=True
+        )
+
+    def next_hop_addr(self, key: int) -> Optional[int]:
+        if self.is_responsible(key):
+            return None
+        if not self.successors:
+            return None
+        succ_id, succ_addr = self.successors[0]
+        if id_in_interval(key, self.node_id, succ_id, incl_right=True):
+            return succ_addr
+        best = self._closest_preceding(key)
+        return best[1] if best is not None else succ_addr
+
+    def _closest_preceding(self, key: int) -> Optional[Tuple[int, int]]:
+        """Routing entry with the largest clockwise progress toward ``key``.
+
+        Only entries strictly inside ``(self, key)`` qualify, the classic
+        Chord guarantee that routing never overshoots the home node.
+        """
+        best: Optional[Tuple[int, int]] = None
+        best_dist = -1
+        for ent_id, ent_addr in self.routing_entries():
+            if id_in_interval(ent_id, self.node_id, key):
+                d = cw_distance(self.node_id, ent_id)
+                if d > best_dist:
+                    best = (ent_id, ent_addr)
+                    best_dist = d
+        return best
+
+    def routing_entries(self) -> List[Tuple[int, int]]:
+        """Fingers plus successor list, deduplicated by id."""
+        seen: Dict[int, int] = {}
+        for ent_id, ent_addr in self.fingers.values():
+            seen.setdefault(ent_id, ent_addr)
+        for ent_id, ent_addr in self.successors:
+            seen.setdefault(ent_id, ent_addr)
+        return list(seen.items())
+
+    def neighbor_addrs(self) -> List[int]:
+        out: List[int] = []
+        seen = set()
+        for _id, a in self.routing_entries():
+            if a != self.addr and a not in seen:
+                seen.add(a)
+                out.append(a)
+        if self.predecessor is not None and self.predecessor[1] not in seen:
+            if self.predecessor[1] != self.addr:
+                out.append(self.predecessor[1])
+        return out
+
+    # ------------------------------------------------------------------
+    # Dynamic membership
+    # ------------------------------------------------------------------
+    def join(self, bootstrap: "ChordNode", done: Optional[Callable[[], None]] = None) -> None:
+        """Join via ``bootstrap``: resolve our successor, start maintenance.
+
+        The joining node has no routing state yet, so the successor
+        lookup is delegated to the bootstrap node.
+        """
+        def _joined(result) -> None:
+            self.successors = [(result.home_id, result.home_addr)]
+            self.start_maintenance()
+            if done is not None:
+                done()
+
+        bootstrap.lookup(self.node_id, _joined)
+
+    def start_maintenance(self) -> None:
+        """Begin periodic stabilize/fix-finger rounds (idempotent)."""
+        if self._running_maintenance:
+            return
+        self._running_maintenance = True
+        self.sim.schedule(self.stabilize_interval_ms, self._maintenance_tick)
+
+    def stop_maintenance(self) -> None:
+        self._running_maintenance = False
+
+    def _maintenance_tick(self) -> None:
+        if not self._running_maintenance or not self._alive:
+            return
+        self.stabilize()
+        self.fix_fingers()
+        self.check_predecessor()
+        self.sim.schedule(self.stabilize_interval_ms, self._maintenance_tick)
+
+    def check_predecessor(self) -> None:
+        """Ping the predecessor; clear the pointer if it stopped answering.
+
+        Without this, a stale predecessor pointer on a live node keeps
+        being handed out during stabilization and its (dead) owner is
+        re-adopted as a successor forever.
+        """
+        if self.predecessor is None:
+            return
+        if self._fresh_piggyback(self.predecessor[0]) is not None:
+            return  # heard from them recently: alive, no ping needed
+        rpc = next(_rpc_ids)
+        self._pending_rpcs[rpc] = {"kind": "ping_pred", "pred": self.predecessor}
+        self.send(
+            Message(
+                src=self.addr,
+                dst=self.predecessor[1],
+                kind="chord_ping",
+                payload={"rpc": rpc, "origin": self.addr},
+                size_bytes=CONTROL_BYTES,
+            )
+        )
+        self.sim.schedule(self.rpc_timeout_ms, self._rpc_timeout, rpc)
+
+    def _on_ping(self, msg: Message) -> None:
+        self.send(
+            Message(
+                src=self.addr,
+                dst=msg.payload["origin"],
+                kind="chord_pong",
+                payload={"rpc": msg.payload["rpc"]},
+                size_bytes=CONTROL_BYTES,
+            )
+        )
+
+    def _on_pong(self, msg: Message) -> None:
+        state = self._pending_rpcs.pop(msg.payload["rpc"], None)
+        if state is not None and state.get("pred") is not None:
+            self._suspicion.pop(state["pred"][0], None)
+
+    # ------------------------------------------------------------------
+    # Piggybacked maintenance (Section 6 future work, implemented)
+    # ------------------------------------------------------------------
+    def absorb_piggyback(
+        self,
+        sender_id: int,
+        sender_addr: int,
+        sender_pred: Optional[Tuple[int, int]],
+        sender_succ: Optional[Tuple[int, int]],
+    ) -> None:
+        """Harvest ring state riding on an application message.
+
+        The message is proof of the sender's liveness, doubles as an
+        implicit ``notify`` (the sender may be our rightful
+        predecessor), and carries the data a ``stabilize`` RPC would
+        have fetched if the sender is our successor.
+        """
+        self._pb_info[sender_id] = (self.sim.now, sender_pred, sender_succ)
+        if sender_id != self.node_id and (
+            self.predecessor is None
+            or id_in_interval(sender_id, self.predecessor[0], self.node_id)
+        ):
+            self._set_predecessor((sender_id, sender_addr))
+
+    def _fresh_piggyback(self, node_id: int):
+        info = self._pb_info.get(node_id)
+        if info is None or self.sim.now - info[0] > self.stabilize_interval_ms:
+            return None
+        return info
+
+    def stabilize(self) -> None:
+        """One stabilization round: reconcile with our first live successor.
+
+        If the successor's state arrived piggybacked on recent
+        application traffic, reconcile from that for free instead of
+        issuing the dedicated RPC pair.
+        """
+        if not self.successors:
+            return
+        succ_id, succ_addr = self.successors[0]
+        info = self._fresh_piggyback(succ_id)
+        if info is not None:
+            _t, pred, _succ = info
+            if pred is not None and id_in_interval(pred[0], self.node_id, succ_id):
+                self.successors.insert(0, tuple(pred))
+                self.successors = self.successors[: self.succ_list_len]
+            self.send(
+                Message(
+                    src=self.addr,
+                    dst=self.successors[0][1],
+                    kind="chord_notify",
+                    payload={"id": self.node_id, "addr": self.addr},
+                    size_bytes=CONTROL_BYTES,
+                )
+            )
+            return
+        rpc = next(_rpc_ids)
+        self._pending_rpcs[rpc] = {"kind": "stabilize", "succ": (succ_id, succ_addr)}
+        self.send(
+            Message(
+                src=self.addr,
+                dst=succ_addr,
+                kind="chord_get_state",
+                payload={"rpc": rpc, "origin": self.addr},
+                size_bytes=CONTROL_BYTES,
+            )
+        )
+        self.sim.schedule(self.rpc_timeout_ms, self._rpc_timeout, rpc)
+
+    def _rpc_timeout(self, rpc: int) -> None:
+        state = self._pending_rpcs.pop(rpc, None)
+        if state is None:
+            return  # completed in time
+        if state["kind"] == "stabilize":
+            dead = state["succ"]
+            misses = self._suspicion.get(dead[0], 0) + 1
+            self._suspicion[dead[0]] = misses
+            if misses < self.suspicion_threshold:
+                return  # probably a lost packet; try again next round
+            # Successor presumed dead: fail over to the next list entry.
+            self._suspicion.pop(dead[0], None)
+            self.successors = [s for s in self.successors if s != dead]
+            self.fingers = {
+                i: f for i, f in self.fingers.items() if f != dead
+            }
+            if self.predecessor == dead:
+                self._set_predecessor(None)
+        elif state["kind"] == "ping_pred":
+            pred = state["pred"]
+            misses = self._suspicion.get(pred[0], 0) + 1
+            self._suspicion[pred[0]] = misses
+            if misses < self.suspicion_threshold:
+                return
+            self._suspicion.pop(pred[0], None)
+            if self.predecessor == pred:
+                self._set_predecessor(None)
+
+    def _on_get_state(self, msg: Message) -> None:
+        self.send(
+            Message(
+                src=self.addr,
+                dst=msg.payload["origin"],
+                kind="chord_state_reply",
+                payload={
+                    "rpc": msg.payload["rpc"],
+                    "pred": self.predecessor,
+                    "succ_list": list(self.successors),
+                    "node_id": self.node_id,
+                    "addr": self.addr,
+                },
+                size_bytes=CONTROL_BYTES,
+            )
+        )
+
+    def _on_state_reply(self, msg: Message) -> None:
+        state = self._pending_rpcs.pop(msg.payload["rpc"], None)
+        if state is None or state["kind"] != "stabilize":
+            return
+        succ_id, succ_addr = state["succ"]
+        self._suspicion.pop(succ_id, None)  # they answered: alive
+        pred = msg.payload["pred"]
+        if pred is not None and id_in_interval(pred[0], self.node_id, succ_id):
+            # A node slid in between us and our successor: adopt it.
+            succ_id, succ_addr = pred
+        chain = [(succ_id, succ_addr)] + [
+            s for s in msg.payload["succ_list"] if s[0] != self.node_id
+        ]
+        dedup: List[Tuple[int, int]] = []
+        seen = set()
+        for ent in chain:
+            ent = tuple(ent)
+            if ent[0] not in seen and ent[0] != self.node_id:
+                seen.add(ent[0])
+                dedup.append(ent)  # already clockwise
+        self.successors = dedup[: self.succ_list_len]
+        if self.successors:
+            self.send(
+                Message(
+                    src=self.addr,
+                    dst=self.successors[0][1],
+                    kind="chord_notify",
+                    payload={"id": self.node_id, "addr": self.addr},
+                    size_bytes=CONTROL_BYTES,
+                )
+            )
+
+    def _on_notify(self, msg: Message) -> None:
+        cand = (msg.payload["id"], msg.payload["addr"])
+        if cand[0] == self.node_id:
+            return
+        if self.predecessor is None or id_in_interval(
+            cand[0], self.predecessor[0], self.node_id
+        ):
+            self._set_predecessor(cand)
+
+    def _set_predecessor(self, pred: Optional[Tuple[int, int]]) -> None:
+        old = self.predecessor
+        self.predecessor = pred
+        if old != pred and self.on_predecessor_change is not None:
+            self.on_predecessor_change(
+                old[0] if old else None, pred[0] if pred else None
+            )
+
+    #: fingers refreshed per maintenance round; one is the classic
+    #: textbook rate, but cycling a 64-entry table then takes
+    #: 64 x stabilize_interval -- far too slow to purge dead fingers
+    #: under bursty churn.
+    fingers_per_fix = 4
+
+    def fix_fingers(self) -> None:
+        """Refresh a few fingers per round (round-robin over the table)."""
+        if not self.successors:
+            return
+        for _ in range(self.fingers_per_fix):
+            i = self._next_fix_finger
+            self._next_fix_finger = (self._next_fix_finger + 1) % ID_BITS
+
+            def _fixed(result, i=i) -> None:
+                if result.home_id != self.node_id:
+                    self.fingers[i] = (result.home_id, result.home_addr)
+
+            self.lookup(id_add(self.node_id, 1 << i), _fixed)
+
+    def leave(self) -> None:
+        """Graceful departure: link predecessor and successor directly."""
+        self.stop_maintenance()
+        if self.successors and self.predecessor is not None:
+            succ = self.successors[0]
+            pred = self.predecessor
+            self.send(
+                Message(
+                    src=self.addr,
+                    dst=succ[1],
+                    kind="chord_leave",
+                    payload={"role": "pred", "neighbor": pred},
+                    size_bytes=CONTROL_BYTES,
+                )
+            )
+            self.send(
+                Message(
+                    src=self.addr,
+                    dst=pred[1],
+                    kind="chord_leave",
+                    payload={"role": "succ", "neighbor": succ},
+                    size_bytes=CONTROL_BYTES,
+                )
+            )
+        self._alive = False
+
+    def _on_leave(self, msg: Message) -> None:
+        neighbor = tuple(msg.payload["neighbor"])
+        if msg.payload["role"] == "pred":
+            self._set_predecessor(neighbor)
+        else:
+            self.successors = [s for s in self.successors if s[1] != msg.src]
+            if not self.successors or id_in_interval(
+                neighbor[0], self.node_id, self.successors[0][0]
+            ):
+                self.successors.insert(0, neighbor)
+
+
+def build_chord_overlay(
+    network: Network,
+    seed: int = 1,
+    *,
+    pns: bool = True,
+    pns_samples: int = 16,
+    succ_list_len: int = DEFAULT_SUCC_LIST,
+    node_ids: Optional[List[int]] = None,
+    node_factory: Optional[Callable[..., ChordNode]] = None,
+) -> Tuple[List[ChordNode], SortedRing]:
+    """Construct a fully-stabilised Chord overlay over a whole topology.
+
+    Returns ``(nodes, ring)`` where ``nodes[addr]`` is the node at that
+    network address and ``ring`` is the global id oracle (useful for
+    tests and for static zone placement).
+
+    ``node_factory`` lets higher layers substitute a subclass (the
+    HyperSub node extends :class:`ChordNode`).
+    """
+    n = network.topology.size
+    ids = node_ids if node_ids is not None else random_ids(n, seed)
+    if len(ids) > n:
+        raise ValueError("more ids than network addresses")
+    # Fewer ids than addresses is allowed: the overlay occupies addresses
+    # [0, len(ids)) and later joiners take the remaining ones.
+    n = len(ids)
+    ring = SortedRing((node_id, addr) for addr, node_id in enumerate(ids))
+
+    factory = node_factory or ChordNode
+    nodes: List[ChordNode] = [
+        factory(addr, ids[addr], network, succ_list_len=succ_list_len)
+        for addr in range(n)
+    ]
+
+    rng = np.random.default_rng(seed ^ 0xC0FFEE)
+    for node in nodes:
+        pred_id = ring.predecessor(node.node_id)
+        node.predecessor = (pred_id, ring.addr(pred_id))
+        node.successors = [
+            (sid, ring.addr(sid))
+            for sid in ring.successor_list(node.node_id, succ_list_len)
+        ]
+        node.fingers = build_finger_table(
+            node.node_id,
+            node.addr,
+            ring,
+            network.topology,
+            pns=pns,
+            pns_samples=pns_samples,
+            rng=rng,
+        )
+    return nodes, ring

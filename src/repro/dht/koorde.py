@@ -1,0 +1,251 @@
+"""Koorde (Kaashoek & Karger, IPTPS'03): a de Bruijn DHT.
+
+The third overlay the paper's Section 6 names ("e.g. Pastry, Tapestry,
+Koorde etc.").  Koorde embeds a degree-2 de Bruijn graph in Chord's
+ring: every node keeps its *successor* plus one *de Bruijn pointer*
+``d = predecessor(2m)`` and routes by doubling-and-appending one bit of
+the target per (virtual) hop -- O(log N) hops with only 2 outgoing
+links.
+
+Responsibility uses Chord's convention (``k in (predecessor, self]``),
+so HyperSub's zone *placement* would work unchanged on top.  The
+pub/sub layer is nevertheless **not** bound to Koorde, and that is
+itself a finding for the paper's "different DHTs" question: Algorithm 5
+aggregates SubIDs per next-hop link, which requires *stateless* routing
+(any node can compute the next hop toward a bare key).  Koorde's
+constant-degree routing is stateful -- each query threads its own
+``(kshift, imaginary)`` pair -- so per-SubID state would have to ride in
+every event message and entries for different keys stop sharing paths,
+forfeiting exactly the aggregation HyperSub's bandwidth numbers rest
+on.  Constant-degree DHTs trade away the property Algorithm 5 exploits.
+
+Routing follows the paper's pseudocode: a query carries the *imaginary*
+de Bruijn node ``i`` (a virtual identifier whose bits are consumed) and
+``kshift`` (the remaining bits of the key).  Each real node acts for the
+imaginary nodes between itself and its successor::
+
+    lookup(k, kshift, i):
+      if k in (self, successor]:      return successor      # done
+      elif i in (self, successor]:    forward to d with
+                                        (k, kshift << 1, i o topBit(kshift))
+      else:                           forward to successor (catch up)
+
+Static construction only (like Pastry); the churn experiments exercise
+Chord.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.dht.base import OverlayNode
+from repro.dht.idspace import (
+    ID_BITS,
+    ID_SPACE,
+    cw_distance,
+    id_in_interval,
+    random_ids,
+)
+from repro.dht.ring import SortedRing
+from repro.sim.messages import CONTROL_BYTES, Message
+from repro.sim.network import Network
+
+_MASK = ID_SPACE - 1
+_koorde_lids = itertools.count()
+
+
+class KoordeNode(OverlayNode):
+    """One Koorde participant (successor + de Bruijn pointer)."""
+
+    def __init__(self, addr: int, node_id: int, network: Network, **_kw) -> None:
+        super().__init__(addr, node_id, network)
+        self.predecessor: Optional[Tuple[int, int]] = None
+        self.successor: Optional[Tuple[int, int]] = None
+        #: de Bruijn pointer: the node acting for imaginary node 2m
+        self.debruijn: Optional[Tuple[int, int]] = None
+        self._koorde_pending: Dict[int, Callable] = {}
+        self.register_handler("koorde_lookup", self._on_koorde_lookup)
+        self.register_handler("koorde_result", self._on_koorde_result)
+
+    # ------------------------------------------------------------------
+    # Ownership (Chord convention)
+    # ------------------------------------------------------------------
+    def is_responsible(self, key: int) -> bool:
+        if self.predecessor is None:
+            return self.successor is None or key == self.node_id
+        return id_in_interval(
+            key, self.predecessor[0], self.node_id, incl_right=True
+        )
+
+    # ------------------------------------------------------------------
+    # De Bruijn routing
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _top_bit(x: int) -> int:
+        return (x >> (ID_BITS - 1)) & 1
+
+    def _best_imaginary_start(self, key: int) -> Tuple[int, int]:
+        """Choose the starting imaginary node and shifted key.
+
+        Kaashoek & Karger's optimisation: the imaginary node must start
+        inside our own arc ``(m, successor]``, and the arc is ~2^64/N
+        ids wide, so its low ``free_bits ~ 64 - log2(N)`` bits can be
+        chosen freely.  Setting them to the *top* bits of the key means
+        only ``t = 64 - free_bits ~ log2(N)`` bits remain to be shifted
+        in: after ``t`` de Bruijn hops the imaginary node equals the key
+        exactly.  Without this the walk degenerates to consuming all 64
+        bits with O(N) ring catch-ups.
+        """
+        m = self.node_id
+        succ_id = self.successor[0]
+        span = cw_distance(m, succ_id)
+        if span == 0:  # single-node ring
+            return m, key
+        # Blocks of size 2^free_bits must fit at least twice in the arc
+        # so one aligned candidate is guaranteed to land inside it.
+        free_bits = max(span.bit_length() - 2, 0)
+        t = ID_BITS - free_bits
+        if free_bits == 0:
+            return (m + 1) & _MASK, key
+        low = (key >> t) & ((1 << free_bits) - 1)
+        base = ((m >> free_bits) << free_bits) | low
+        for bump in range(3):
+            cand = (base + (bump << free_bits)) & _MASK
+            if id_in_interval(cand, m, succ_id, incl_right=True):
+                return cand, (key << free_bits) & _MASK
+        # Defensive fallback: consume everything from just inside the arc.
+        return (m + 1) & _MASK, key  # pragma: no cover
+
+    def route_step(
+        self, key: int, kshift: int, imaginary: int
+    ) -> Tuple[str, Optional[int], int, int]:
+        """One hop of Koorde routing.
+
+        Returns ``(action, next_addr, new_kshift, new_imaginary)`` where
+        action is ``done`` (this node's *successor* owns the key -- the
+        caller treats the successor as home), ``self`` (we own it), or
+        ``forward``.
+        """
+        if self.is_responsible(key):
+            return "self", None, kshift, imaginary
+        succ_id, succ_addr = self.successor
+        if id_in_interval(key, self.node_id, succ_id, incl_right=True):
+            return "done", succ_addr, kshift, imaginary
+        if id_in_interval(imaginary, self.node_id, succ_id, incl_right=True):
+            # We act for the imaginary node: consume one bit via d.
+            new_i = ((imaginary << 1) | self._top_bit(kshift)) & _MASK
+            new_kshift = (kshift << 1) & _MASK
+            return "forward", self.debruijn[1], new_kshift, new_i
+        # The imaginary node is ahead of us: catch up along the ring.
+        return "forward", succ_addr, kshift, imaginary
+
+    def next_hop_addr(self, key: int) -> Optional[int]:
+        """Stateless fallback: successor walking (O(N) hops).
+
+        Koorde cannot make de Bruijn progress without the query's
+        ``(kshift, imaginary)`` state, so the stateless interface other
+        overlays provide degenerates to the ring -- see the module
+        docstring for why this rules out binding HyperSub's Algorithm 5
+        to constant-degree DHTs.  Use :meth:`lookup_koorde` for the
+        O(log N) path.
+        """
+        if self.is_responsible(key):
+            return None
+        succ_id, succ_addr = self.successor
+        if id_in_interval(key, self.node_id, succ_id, incl_right=True):
+            return succ_addr
+        return succ_addr
+
+    def neighbor_addrs(self) -> List[int]:
+        out = []
+        seen = {self.addr}
+        for ent in (self.successor, self.debruijn, self.predecessor):
+            if ent is not None and ent[1] not in seen:
+                seen.add(ent[1])
+                out.append(ent[1])
+        return out
+
+    # ------------------------------------------------------------------
+    # Stateful Koorde lookup (the O(log N) path)
+    # ------------------------------------------------------------------
+    def lookup_koorde(self, key: int, callback: Callable[[Tuple[int, int, int]], None]) -> None:
+        """Resolve ``successor(key)`` with de Bruijn routing.
+
+        ``callback`` receives ``(home_id, home_addr, hops)``.
+        """
+        lid = next(_koorde_lids)
+        self._koorde_pending[lid] = callback
+        imaginary, kshift = self._best_imaginary_start(key)
+        self._koorde_step_local(key, kshift, imaginary, self.addr, lid, 0)
+
+    def _koorde_step_local(self, key, kshift, imaginary, origin, lid, hops):
+        action, nxt, kshift, imaginary = self.route_step(key, kshift, imaginary)
+        if action == "self":
+            self._koorde_finish(origin, lid, self.node_id, self.addr, hops)
+        elif action == "done":
+            self._koorde_finish(origin, lid, self.successor[0], nxt, hops + 1)
+        else:
+            self.send(
+                Message(
+                    src=self.addr, dst=nxt, kind="koorde_lookup",
+                    payload={
+                        "key": key, "kshift": kshift, "imaginary": imaginary,
+                        "origin": origin, "lid": lid, "hops": hops + 1,
+                    },
+                    size_bytes=CONTROL_BYTES,
+                )
+            )
+
+    def _koorde_finish(self, origin, lid, home_id, home_addr, hops) -> None:
+        payload = {"lid": lid, "home_id": home_id, "home_addr": home_addr,
+                   "hops": hops}
+        if origin == self.addr:
+            self._deliver_result(payload)
+            return
+        self.send(
+            Message(
+                src=self.addr, dst=origin, kind="koorde_result",
+                payload=payload, size_bytes=CONTROL_BYTES,
+            )
+        )
+
+    def _deliver_result(self, payload: dict) -> None:
+        callback = self._koorde_pending.pop(payload["lid"], None)
+        if callback is not None:
+            callback(
+                (payload["home_id"], payload["home_addr"], payload["hops"])
+            )
+
+    def _on_koorde_result(self, msg: Message) -> None:
+        self._deliver_result(msg.payload)
+
+    def _on_koorde_lookup(self, msg: Message) -> None:
+        p = msg.payload
+        self._koorde_step_local(
+            p["key"], p["kshift"], p["imaginary"], p["origin"], p["lid"], p["hops"]
+        )
+
+
+def build_koorde_overlay(
+    network: Network,
+    seed: int = 1,
+    node_ids: Optional[List[int]] = None,
+    node_factory: Optional[Callable[..., KoordeNode]] = None,
+) -> Tuple[List[KoordeNode], SortedRing]:
+    """Statically build a Koorde ring over the whole topology."""
+    n = network.topology.size
+    ids = node_ids if node_ids is not None else random_ids(n, seed)
+    ring = SortedRing((node_id, addr) for addr, node_id in enumerate(ids))
+    factory = node_factory or KoordeNode
+    nodes = [factory(addr, ids[addr], network) for addr in range(n)]
+    for node in nodes:
+        pred = ring.predecessor(node.node_id)
+        node.predecessor = (pred, ring.addr(pred))
+        succ = ring.successor((node.node_id + 1) % ID_SPACE)
+        node.successor = (succ, ring.addr(succ))
+        # d = the node acting for imaginary node 2m: predecessor(2m)'s
+        # successor arc covers 2m, so point at predecessor(2m).
+        db = ring.predecessor((2 * node.node_id) % ID_SPACE)
+        node.debruijn = (db, ring.addr(db))
+    return nodes, ring

@@ -1,0 +1,107 @@
+"""Figure 4: load distribution on nodes (ranked, first 100 shown).
+
+Paper: base 2 no-LB max 583 stored surrogate subscriptions, LB max 187;
+base 4 no-LB max 2548, LB max 583.  The qualitative content: load is
+steeply skewed without balancing, base 4 is more imbalanced than
+base 2, and dynamic migration flattens the head of the curve severalfold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.analysis.compare import ShapeReport
+from repro.analysis.tables import format_series, format_table
+from repro.experiments.common import (
+    DeliveryResult,
+    figure2_configs,
+    run_delivery,
+    scale_from_env,
+)
+from repro.sim.stats import rank_desc
+
+
+@dataclass
+class Figure4Result:
+    runs: List[DeliveryResult]
+    report: ShapeReport
+    top: int = 100
+
+    def render(self) -> str:
+        ranks = list(range(1, self.top + 1, max(1, self.top // 20)))
+        series = {}
+        for r in self.runs:
+            ranked = rank_desc(r.loads, top=self.top)
+            ranked += [0.0] * (self.top - len(ranked))
+            series[r.label] = [ranked[i - 1] for i in ranks]
+        blocks = [
+            format_series(
+                "rank", ranks, series,
+                title="Figure 4 -- load (stored subscriptions), nodes ranked by load",
+            ),
+            format_table(
+                ["config", "max load", "mean load", "max/mean"],
+                [
+                    [
+                        r.label,
+                        int(r.loads.max()),
+                        float(r.loads.mean()),
+                        float(r.loads.max() / max(r.loads.mean(), 1e-9)),
+                    ]
+                    for r in self.runs
+                ],
+                title="maxima (paper: base2 583 -> 187 with LB; base4 2548 -> 583)",
+            ),
+            self.report.render(),
+        ]
+        return "\n\n".join(blocks)
+
+
+def check_shapes(runs: List[DeliveryResult]) -> ShapeReport:
+    by_label = {r.label: r for r in runs}
+    b2 = by_label["Base 2,level 20,no LB"]
+    b2_lb = by_label["Base 2,level 20,LB"]
+    b4 = by_label["Base 4,level 10,no LB"]
+    b4_lb = by_label["Base 4,level 10,LB"]
+
+    report = ShapeReport("Figure 4")
+    report.expect_less(
+        float(b2_lb.loads.max()), float(b2.loads.max()),
+        "migration cuts the max load (base 2; paper 583 -> 187)",
+    )
+    report.expect_less(
+        float(b4_lb.loads.max()), float(b4.loads.max()),
+        "migration cuts the max load (base 4; paper 2548 -> 583)",
+    )
+    # Imbalance is max/mean: absolute loads are not comparable across
+    # bases (base 2's deeper zone tree stores ~2x the surrogate
+    # subscriptions per real subscription).
+    b2_ratio = float(b2.loads.max()) / max(float(b2.loads.mean()), 1e-9)
+    b4_ratio = float(b4.loads.max()) / max(float(b4.loads.mean()), 1e-9)
+    report.expect_greater(
+        b4_ratio, b2_ratio * 0.9,
+        "base 4 at least as imbalanced as base 2 (paper 2548 vs 583)",
+    )
+    report.expect_greater(
+        float(b2.loads.max()) / max(float(b2.loads.mean()), 1e-9), 5.0,
+        "no-LB load is steeply skewed (max >> mean)",
+    )
+    return report
+
+
+def run(num_nodes: int | None = None, num_events: int | None = None) -> Figure4Result:
+    n, e = scale_from_env()
+    runs = [
+        run_delivery(c)
+        for c in figure2_configs(num_nodes or n, num_events or e)
+    ]
+    return Figure4Result(runs=runs, report=check_shapes(runs))
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(run().render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,157 @@
+"""Figure 5: performance versus network size (the scalability sweep).
+
+Paper findings (2k -> 16k nodes, base 2 / level 20, LB on and off):
+
+* (a) the average matched percentage decreases slightly with size while
+  the absolute number of matched subscriptions per event grows;
+* (b, c, d) max hops, max latency and bandwidth per event grow
+  *modestly* (roughly logarithmically) with network size.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.analysis.compare import ShapeReport
+from repro.analysis.plots import ascii_series_plot
+from repro.analysis.tables import format_series
+from repro.experiments.common import DeliveryConfig, run_delivery
+
+#: Default sweep for the benchmark harness; REPRO_SCALE=paper uses the
+#: paper's 2k..16k.
+BENCH_SIZES: Sequence[int] = (500, 1000, 2000, 4000)
+PAPER_SIZES: Sequence[int] = tuple(k * 1000 for k in (2, 4, 6, 8, 10, 12, 14, 16))
+
+
+def sweep_sizes() -> Sequence[int]:
+    if os.environ.get("REPRO_SCALE") == "paper":
+        return PAPER_SIZES
+    if "REPRO_FIG5_SIZES" in os.environ:
+        return tuple(
+            int(s) for s in os.environ["REPRO_FIG5_SIZES"].split(",")
+        )
+    return BENCH_SIZES
+
+
+@dataclass
+class Figure5Result:
+    sizes: List[int]
+    by_config: Dict[str, List]  # label -> [DeliveryResult per size]
+    report: ShapeReport
+
+    def render(self) -> str:
+        xs = [s / 1000 for s in self.sizes]
+        blocks = []
+        first = next(iter(self.by_config.values()))
+        blocks.append(
+            format_series(
+                "size (x10^3)", xs,
+                {
+                    "avg matched %": [r.matched_pct.mean for r in first],
+                    "avg matched count": [r.matched_counts.mean for r in first],
+                },
+                title="Figure 5(a) -- matched subscriptions vs network size "
+                "(paper: % decreases slightly, count grows; avg 0.834%)",
+            )
+        )
+        for metric, title in [
+            ("max_hops", "Figure 5(b) -- avg max hops vs network size"),
+            ("max_latency_ms", "Figure 5(c) -- avg max latency (ms) vs network size"),
+            ("bandwidth_kb", "Figure 5(d) -- avg bandwidth per event (KB) vs network size"),
+        ]:
+            series = {
+                label: [getattr(r, metric).mean for r in runs]
+                for label, runs in self.by_config.items()
+            }
+            blocks.append(format_series("size (x10^3)", xs, series, title=title))
+            blocks.append(
+                ascii_series_plot(
+                    xs, series, x_label="size (x10^3)",
+                    y_label=metric.replace("_", " "),
+                )
+            )
+        blocks.append(self.report.render())
+        return "\n\n".join(blocks)
+
+
+def check_shapes(sizes: List[int], by_config: Dict[str, List]) -> ShapeReport:
+    report = ShapeReport("Figure 5")
+    no_lb = next(runs for label, runs in by_config.items() if "no LB" in label)
+    growth = sizes[-1] / sizes[0]
+    for metric, name in [
+        ("max_hops", "max hops"),
+        ("max_latency_ms", "max latency"),
+    ]:
+        first = getattr(no_lb[0], metric).mean
+        last = getattr(no_lb[-1], metric).mean
+        report.expect_greater(
+            last, first * 0.8, f"{name} does not shrink with size"
+        )
+        # "increase modestly": far sublinear in network size.
+        report.expect_less(
+            last, first * max(2.0, growth * 0.75),
+            f"{name} grows sublinearly over a {growth:.0f}x size increase",
+        )
+    # Per-event bandwidth scales with the match set (which grows with
+    # the subscription population); the routing-efficiency claim is
+    # that bytes *per delivered subscription* grow only modestly.
+    per_delivery_first = no_lb[0].bandwidth_kb.mean / max(
+        no_lb[0].matched_counts.mean, 1e-9
+    )
+    per_delivery_last = no_lb[-1].bandwidth_kb.mean / max(
+        no_lb[-1].matched_counts.mean, 1e-9
+    )
+    report.expect_less(
+        per_delivery_last, per_delivery_first * max(2.0, growth * 0.5),
+        f"bandwidth per delivery grows sublinearly over {growth:.0f}x",
+    )
+    counts = [r.matched_counts.mean for r in no_lb]
+    report.expect_greater(
+        counts[-1], counts[0] * 1.5,
+        "matched count per event grows with network size",
+    )
+    pcts = [r.matched_pct.mean for r in no_lb]
+    report.expect_less(
+        pcts[-1], pcts[0] * 1.3,
+        "matched % does not grow with network size",
+    )
+    return report
+
+
+def run(
+    sizes: Sequence[int] | None = None,
+    num_events: int | None = None,
+    subs_per_node: int = 10,
+) -> Figure5Result:
+    sizes = list(sizes or sweep_sizes())
+    num_events = num_events or int(os.environ.get("REPRO_EVENTS", 400))
+    by_config: Dict[str, List] = {}
+    for lb in (False, True):
+        runs = []
+        for n in sizes:
+            cfg = DeliveryConfig(
+                num_nodes=n,
+                num_events=num_events,
+                subs_per_node=subs_per_node,
+                base=2,
+                lb=lb,
+            )
+            runs.append(run_delivery(cfg))
+        by_config[runs[0].label] = runs
+    return Figure5Result(
+        sizes=sizes,
+        by_config=by_config,
+        report=check_shapes(sizes, by_config),
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(run().render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

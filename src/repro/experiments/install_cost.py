@@ -1,0 +1,121 @@
+"""Experiment I1 (extension): subscription installation cost.
+
+Paper Section 6 defers "detailed evaluations ... on the subscription
+installation".  This experiment runs installation through the fully
+simulated path -- Algorithm 2 verbatim: a DHT ``lookup`` per
+registration followed by a ``ps_register`` packet, including the
+summary-filter cascade's own lookups -- and measures per-subscription
+messages, bytes and lookup hops across network sizes.  The installation
+claim ("the locality-preserving hashing ... makes the subscription
+installation and event publication efficient") translates to
+O(log N) lookup hops and size-independent registration fan-out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.analysis.compare import ShapeReport
+from repro.analysis.tables import format_series
+from repro.core.config import HyperSubConfig
+from repro.core.system import HyperSubSystem
+from repro.workloads import WorkloadGenerator, default_paper_spec
+
+
+@dataclass
+class InstallResult:
+    sizes: List[int]
+    msgs_per_sub: List[float]
+    kb_per_sub: List[float]
+    lookup_hops: List[float]
+    report: ShapeReport
+
+    def render(self) -> str:
+        return "\n\n".join(
+            [
+                format_series(
+                    "nodes",
+                    self.sizes,
+                    {
+                        "messages / subscription": self.msgs_per_sub,
+                        "KB / subscription": self.kb_per_sub,
+                        "avg lookup hops": self.lookup_hops,
+                    },
+                    title="I1 -- simulated installation cost (Algorithm 2 + cascade)",
+                ),
+                self.report.render(),
+            ]
+        )
+
+
+def _one_size(num_nodes: int, num_subs: int) -> tuple:
+    spec = default_paper_spec()
+    gen = WorkloadGenerator(spec, seed=7)
+    cfg = HyperSubConfig(seed=1, simulate_install=True)
+    system = HyperSubSystem(num_nodes=num_nodes, config=cfg)
+    system.add_scheme(gen.scheme)
+    rng = np.random.default_rng(2)
+
+    hops_samples: List[int] = []
+    # Wrap one node's lookups to sample hop counts.
+    for _ in range(num_subs):
+        system.subscribe(int(rng.integers(0, num_nodes)), gen.subscription())
+    system.run_until_idle()
+
+    stats = system.network.stats
+    lookup_msgs = stats.msgs_by_kind.get("dht_lookup_step", 0)
+    lookup_replies = stats.msgs_by_kind.get("dht_lookup_reply", 0)
+    # Each lookup step+reply pair is one hop of one iterative lookup.
+    registers = stats.msgs_by_kind.get("ps_register", 0)
+    total_msgs = stats.total_msgs
+    total_bytes = stats.total_bytes
+    avg_hops = lookup_msgs / max(registers, 1)
+    return (
+        total_msgs / num_subs,
+        total_bytes / 1024.0 / num_subs,
+        avg_hops,
+    )
+
+
+def run(
+    sizes: Sequence[int] = (100, 200, 400, 800),
+    num_subs: int = 300,
+) -> InstallResult:
+    msgs, kb, hops = [], [], []
+    for n in sizes:
+        m, k, h = _one_size(n, num_subs)
+        msgs.append(m)
+        kb.append(k)
+        hops.append(h)
+
+    report = ShapeReport("I1 installation cost")
+    growth = sizes[-1] / sizes[0]
+    report.expect_less(
+        hops[-1], hops[0] * max(2.5, growth / 2),
+        f"lookup hops grow ~log N over a {growth:.0f}x size increase",
+    )
+    report.expect_greater(
+        hops[-1], hops[0], "lookup hops do grow with network size"
+    )
+    report.expect_less(
+        msgs[-1], msgs[0] * max(3.0, growth / 2),
+        "per-subscription messages stay far sublinear in N",
+    )
+    return InstallResult(
+        sizes=list(sizes),
+        msgs_per_sub=msgs,
+        kb_per_sub=kb,
+        lookup_hops=hops,
+        report=report,
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(run().render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,64 @@
+"""Table 2: simulated networks and average RTTs.
+
+The paper derives networks of 2k-16k nodes from the King data and
+reports each network's average RTT.  Our King-like topology calibrates
+every size to the King mean (~180 ms), so the measured row should be
+flat around 180 ms -- the table demonstrates the latency substrate the
+scalability sweep (Figure 5) runs on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.analysis.compare import ShapeReport
+from repro.analysis.tables import format_series
+from repro.sim.topology import KingLikeTopology
+
+#: Network sizes (x 10^3) of the paper's scalability experiments.
+PAPER_SIZES_K: Sequence[int] = (2, 4, 6, 8, 10, 12, 14, 16)
+
+
+@dataclass
+class Table2Result:
+    sizes: List[int]
+    avg_rtts: List[float]
+    report: ShapeReport
+
+    def render(self) -> str:
+        series = {"Avg RTT (ms)": self.avg_rtts}
+        return "\n\n".join(
+            [
+                format_series(
+                    "Size (x10^3)",
+                    [s / 1000 for s in self.sizes],
+                    series,
+                    title="Table 2 -- simulated networks and avg RTTs "
+                    "(paper: King-derived, ~180 ms)",
+                ),
+                self.report.render(),
+            ]
+        )
+
+
+def run(sizes: Sequence[int] | None = None, seed: int = 1) -> Table2Result:
+    sizes = list(sizes or [k * 1000 for k in PAPER_SIZES_K])
+    avg = []
+    for n in sizes:
+        topo = KingLikeTopology(n, seed=seed)
+        avg.append(topo.mean_rtt(30_000))
+    report = ShapeReport("Table 2")
+    for n, rtt in zip(sizes, avg):
+        report.expect_within(
+            rtt, 150.0, 210.0, f"{n}-node network mean RTT near King's 180 ms"
+        )
+    return Table2Result(sizes=sizes, avg_rtts=avg, report=report)
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(run().render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

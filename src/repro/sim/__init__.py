@@ -1,0 +1,38 @@
+"""Discrete event-driven, packet-level network simulator.
+
+This package is the reproduction's substitute for p2psim (the C++
+simulator the paper runs on).  It provides:
+
+* :class:`~repro.sim.engine.Simulator` -- a deterministic discrete-event
+  scheduler (time unit: milliseconds).
+* :class:`~repro.sim.network.Network` -- a packet-level message fabric
+  with per-node byte accounting.
+* :mod:`~repro.sim.topology` -- latency models, including the synthetic
+  King-style topology used throughout the evaluation.
+* :mod:`~repro.sim.stats` -- counters and distribution helpers.
+"""
+
+from repro.sim.engine import Simulator, EventHandle
+from repro.sim.messages import Message
+from repro.sim.network import Network, SimNode
+from repro.sim.stats import NetworkStats, Counter
+from repro.sim.topology import (
+    Topology,
+    ConstantTopology,
+    ExplicitTopology,
+    KingLikeTopology,
+)
+
+__all__ = [
+    "Simulator",
+    "EventHandle",
+    "Message",
+    "Network",
+    "SimNode",
+    "NetworkStats",
+    "Counter",
+    "Topology",
+    "ConstantTopology",
+    "ExplicitTopology",
+    "KingLikeTopology",
+]

@@ -1,0 +1,139 @@
+"""Measurement plumbing: byte counters and distribution summaries.
+
+The paper's cost metrics (Section 5.1):
+
+* per-event **hops** -- maximum path length to reach all subscribers;
+* per-event **latency** -- maximum delivery time;
+* per-event **bandwidth cost** -- total bytes moved for one event;
+* per-node **in/out bandwidth** -- bytes received/sent over a whole run.
+
+:class:`NetworkStats` owns the per-node counters; per-event metrics are
+accumulated by the pub/sub layer in :class:`repro.core.system.EventRecord`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+
+class Counter:
+    """A named monotonically-increasing tally."""
+
+    __slots__ = ("name", "count", "total")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+
+    def add(self, value: float = 1.0) -> None:
+        self.count += 1
+        self.total += value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name}: n={self.count}, total={self.total})"
+
+
+class NetworkStats:
+    """Per-node byte/message accounting for one simulation run."""
+
+    def __init__(self, num_nodes: int) -> None:
+        self.num_nodes = num_nodes
+        self.in_bytes = np.zeros(num_nodes, dtype=np.float64)
+        self.out_bytes = np.zeros(num_nodes, dtype=np.float64)
+        self.in_msgs = np.zeros(num_nodes, dtype=np.int64)
+        self.out_msgs = np.zeros(num_nodes, dtype=np.int64)
+        self.bytes_by_kind: Dict[str, float] = {}
+        self.msgs_by_kind: Dict[str, int] = {}
+
+    def record_send(self, src: int, dst: int, kind: str, size_bytes: int) -> None:
+        self.out_bytes[src] += size_bytes
+        self.out_msgs[src] += 1
+        self.in_bytes[dst] += size_bytes
+        self.in_msgs[dst] += 1
+        self.bytes_by_kind[kind] = self.bytes_by_kind.get(kind, 0.0) + size_bytes
+        self.msgs_by_kind[kind] = self.msgs_by_kind.get(kind, 0) + 1
+
+    @property
+    def total_bytes(self) -> float:
+        return float(self.out_bytes.sum())
+
+    @property
+    def total_msgs(self) -> int:
+        return int(self.out_msgs.sum())
+
+    def reset(self) -> None:
+        """Zero every counter (used between warm-up and measurement)."""
+        self.in_bytes[:] = 0.0
+        self.out_bytes[:] = 0.0
+        self.in_msgs[:] = 0
+        self.out_msgs[:] = 0
+        self.bytes_by_kind.clear()
+        self.msgs_by_kind.clear()
+
+
+@dataclass
+class Distribution:
+    """A finished sample with the summaries the figures report."""
+
+    values: np.ndarray
+
+    @classmethod
+    def from_values(cls, values: Iterable[float]) -> "Distribution":
+        return cls(np.asarray(sorted(values), dtype=np.float64))
+
+    @property
+    def n(self) -> int:
+        return len(self.values)
+
+    @property
+    def mean(self) -> float:
+        return float(self.values.mean()) if self.n else 0.0
+
+    @property
+    def max(self) -> float:
+        return float(self.values[-1]) if self.n else 0.0
+
+    @property
+    def min(self) -> float:
+        return float(self.values[0]) if self.n else 0.0
+
+    def percentile(self, q: float) -> float:
+        if not self.n:
+            return 0.0
+        return float(np.percentile(self.values, q))
+
+    def cdf(self, points: int = 100) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``(x, F(x))`` suitable for plotting/printing a CDF.
+
+        ``x`` are ``points`` evenly-spaced sample values spanning the
+        observed range; ``F(x)`` is the empirical CDF evaluated there.
+        """
+        if not self.n:
+            return np.array([]), np.array([])
+        xs = np.linspace(self.values[0], self.values[-1], points)
+        fs = np.searchsorted(self.values, xs, side="right") / self.n
+        return xs, fs
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "n": self.n,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+            "max": self.max,
+        }
+
+
+def rank_desc(values: Sequence[float], top: int | None = None) -> List[float]:
+    """Values sorted descending, truncated to ``top`` (Figure 4 style)."""
+    out = sorted((float(v) for v in values), reverse=True)
+    return out if top is None else out[:top]

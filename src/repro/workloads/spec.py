@@ -1,0 +1,135 @@
+"""Workload specification: the reconstruction of the paper's Table 1.
+
+Table 1 ("Publish/subscribe scheme and properties") lists, per
+dimension: Size(byte), Min, Max, Data skew factor, Data hotspot,
+Size skew factor, Size hotspot.  The OCR of the available paper text
+drops the numeric cells, so the values below are reconstructed:
+
+* 4 dimensions -- Table 1 has four rows, and Meghdoot-style evaluations
+  of the era use 4-8 attribute schemes;
+* ``Min = 0``, ``Max = 10000`` -- a generic numeric domain;
+* ``size_bytes = 8`` per attribute value (matches the paper's 100-byte
+  event model: header + 4 x 8 value bytes + metadata);
+* data skew factor 1.5 per dimension (skew calibrated so the measured
+  matched-subscription rate lands at the paper's 0.834 %; 0.95 spreads
+  mass too thin over a 1024-level domain to reproduce that rate);
+* data hotspots staggered across dimensions (10 %, 30 %, 50 %, 70 % of
+  the domain) so the joint hotspot is a proper 4-d region rather than a
+  diagonal artifact;
+* size skew factor 1.2 with maximum range 7 % of the domain and the
+  size hotspot at the small end -- most subscriptions are narrow, a few
+  are wide.
+
+The resulting average matched-subscription rate is ~0.8-1.0 % across
+network sizes, bracketing the paper's reported 0.834 % (Figure 2a);
+the calibration benchmark asserts this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.core.scheme import Attribute, Scheme
+
+
+@dataclass(frozen=True)
+class AttributeSpec:
+    """Distribution parameters for one dimension (one Table 1 row)."""
+
+    name: str
+    size_bytes: int = 8
+    min: float = 0.0
+    max: float = 10_000.0
+    #: Zipf skew of event values on this dimension.
+    data_skew: float = 1.5
+    #: Centre of event-value mass, as a fraction of the domain.
+    data_hotspot: float = 0.5
+    #: Zipf skew of subscription range sizes.
+    size_skew: float = 1.2
+    #: Fraction of the domain at which size mass concentrates (0 = most
+    #: subscriptions are very narrow).
+    size_hotspot: float = 0.0
+    #: Largest subscription range as a fraction of the domain.
+    max_range_frac: float = 0.07
+
+    def __post_init__(self) -> None:
+        if self.max <= self.min:
+            raise ValueError(f"dimension {self.name!r}: max must exceed min")
+        if not 0.0 <= self.data_hotspot <= 1.0:
+            raise ValueError("data_hotspot must be in [0, 1]")
+        if not 0.0 <= self.size_hotspot <= 1.0:
+            raise ValueError("size_hotspot must be in [0, 1]")
+        if not 0.0 < self.max_range_frac <= 1.0:
+            raise ValueError("max_range_frac must be in (0, 1]")
+
+    @property
+    def span(self) -> float:
+        return self.max - self.min
+
+    def to_attribute(self) -> Attribute:
+        return Attribute(self.name, self.min, self.max)
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A full workload: scheme properties plus driver parameters."""
+
+    attributes: Sequence[AttributeSpec]
+    #: Subscriptions initialised per node ("the simulation starts by
+    #: initializing subscriptions on each node").
+    subs_per_node: int = 10
+    #: Number of events scheduled ("we schedule 20,000 events").
+    num_events: int = 20_000
+    #: Mean of the exponential inter-arrival time ("exponentially
+    #: distributed with average value of 100 milliseconds").
+    mean_interarrival_ms: float = 100.0
+    #: How many distinct Zipf ranks model each continuous dimension.
+    zipf_levels: int = 1024
+    scheme_name: str = "paper"
+
+    def __post_init__(self) -> None:
+        if not self.attributes:
+            raise ValueError("need at least one attribute spec")
+        if self.subs_per_node < 0 or self.num_events < 0:
+            raise ValueError("counts must be non-negative")
+        if self.mean_interarrival_ms <= 0:
+            raise ValueError("mean_interarrival_ms must be positive")
+
+    @property
+    def dimensions(self) -> int:
+        return len(self.attributes)
+
+    def build_scheme(self) -> Scheme:
+        return Scheme(
+            self.scheme_name, [a.to_attribute() for a in self.attributes]
+        )
+
+
+def default_paper_spec(
+    subs_per_node: int = 10,
+    num_events: int = 20_000,
+    scheme_name: str = "paper",
+) -> WorkloadSpec:
+    """The reconstructed Table 1 workload (see module docstring)."""
+    hotspots = [0.10, 0.30, 0.50, 0.70]
+    attrs = [
+        AttributeSpec(
+            name=f"d{i}",
+            size_bytes=8,
+            min=0.0,
+            max=10_000.0,
+            data_skew=1.5,
+            data_hotspot=hotspots[i],
+            size_skew=1.2,
+            size_hotspot=0.0,
+            max_range_frac=0.07,
+        )
+        for i in range(4)
+    ]
+    return WorkloadSpec(
+        attributes=attrs,
+        subs_per_node=subs_per_node,
+        num_events=num_events,
+        scheme_name=scheme_name,
+    )

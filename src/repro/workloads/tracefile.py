@@ -1,0 +1,158 @@
+"""Trace-driven workloads: record and replay real event/subscription logs.
+
+Paper Section 6: "One [future direction] is to enable the execution of
+real-world workloads".  This module is the hook: a plain JSON-lines
+trace format that any production log can be converted into, plus
+loaders that feed a :class:`~repro.core.system.HyperSubSystem` (or any
+baseline with the same facade).
+
+Format -- one JSON object per line:
+
+    {"op": "sub",   "addr": 3, "lows": [..], "highs": [..]}
+    {"op": "pub",   "addr": 9, "time_ms": 1234.5, "values": [..]}
+    {"op": "unsub", "addr": 3, "ref": 0}
+
+``ref`` names a prior ``sub`` line by its zero-based position among
+``sub`` lines.  Attribute order follows the scheme the trace is
+replayed against; a ``# comment`` first line documents it by
+convention.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, Iterator, List, Optional, Tuple, Union
+
+from repro.core.event import Event
+from repro.core.scheme import Scheme
+from repro.core.subscription import Subscription
+
+PathLike = Union[str, Path]
+
+
+class TraceError(ValueError):
+    """A malformed trace line, with its line number."""
+
+    def __init__(self, lineno: int, message: str) -> None:
+        super().__init__(f"trace line {lineno}: {message}")
+        self.lineno = lineno
+
+
+def _parse_lines(fh: IO[str]) -> Iterator[Tuple[int, dict]]:
+    for lineno, raw in enumerate(fh, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise TraceError(lineno, f"invalid JSON: {exc}") from exc
+        if not isinstance(obj, dict) or "op" not in obj:
+            raise TraceError(lineno, "expected an object with an 'op' field")
+        yield lineno, obj
+
+
+def load_trace(path: PathLike, scheme: Scheme) -> List[dict]:
+    """Parse and validate a trace against ``scheme``.
+
+    Returns the list of validated records with materialised
+    :class:`Subscription` / :class:`Event` objects under ``"obj"``.
+    """
+    records: List[dict] = []
+    sub_count = 0
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, obj in _parse_lines(fh):
+            op = obj["op"]
+            if op == "sub":
+                try:
+                    sub = Subscription.from_box(scheme, obj["lows"], obj["highs"])
+                except (KeyError, ValueError, TypeError) as exc:
+                    raise TraceError(lineno, f"bad subscription: {exc}") from exc
+                records.append(
+                    {"op": "sub", "addr": int(obj["addr"]), "obj": sub,
+                     "sub_index": sub_count}
+                )
+                sub_count += 1
+            elif op == "pub":
+                try:
+                    ev = Event(scheme, obj["values"])
+                except (KeyError, ValueError, TypeError) as exc:
+                    raise TraceError(lineno, f"bad event: {exc}") from exc
+                records.append(
+                    {"op": "pub", "addr": int(obj["addr"]),
+                     "time_ms": float(obj.get("time_ms", 0.0)), "obj": ev}
+                )
+            elif op == "unsub":
+                ref = obj.get("ref")
+                if not isinstance(ref, int) or ref < 0 or ref >= sub_count:
+                    raise TraceError(
+                        lineno, f"unsub ref {ref!r} does not name a prior sub"
+                    )
+                records.append(
+                    {"op": "unsub", "addr": int(obj["addr"]), "ref": ref}
+                )
+            else:
+                raise TraceError(lineno, f"unknown op {op!r}")
+    return records
+
+
+def replay_trace(path: PathLike, system, scheme: Scheme) -> dict:
+    """Drive a system from a trace file.
+
+    Subscriptions and unsubscriptions apply immediately (setup
+    semantics); publications are scheduled at their ``time_ms``.  Call
+    ``system.run_until_idle()`` afterwards.  Returns a summary dict.
+    """
+    records = load_trace(path, scheme)
+    subids: List = []
+    counts = {"sub": 0, "pub": 0, "unsub": 0}
+    for rec in records:
+        if rec["op"] == "sub":
+            subids.append(system.subscribe(rec["addr"], rec["obj"]))
+            counts["sub"] += 1
+        elif rec["op"] == "unsub":
+            system.unsubscribe(rec["addr"], subids[rec["ref"]])
+            counts["unsub"] += 1
+        else:
+            system.schedule_publish(rec["time_ms"], rec["addr"], rec["obj"])
+            counts["pub"] += 1
+    return {"counts": counts, "subids": subids}
+
+
+def save_trace(
+    path: PathLike,
+    scheme: Scheme,
+    subscriptions: List[Tuple[int, Subscription]],
+    events: List[Tuple[float, int, Event]],
+    comment: Optional[str] = None,
+) -> int:
+    """Write a trace file (the inverse of :func:`load_trace`).
+
+    ``subscriptions`` is ``[(addr, sub)]``; ``events`` is
+    ``[(time_ms, addr, event)]``.  Returns the number of lines written.
+    Useful for freezing a synthetic :class:`WorkloadGenerator` stream
+    into a reproducible artefact.
+    """
+    lines: List[str] = []
+    header = comment or (
+        "# repro trace; attributes: "
+        + ", ".join(a.name for a in scheme.attributes)
+    )
+    lines.append(header)
+    for addr, sub in subscriptions:
+        lines.append(
+            json.dumps(
+                {"op": "sub", "addr": addr, "lows": list(map(float, sub.lows)),
+                 "highs": list(map(float, sub.highs))}
+            )
+        )
+    for time_ms, addr, ev in sorted(events, key=lambda t: t[0]):
+        lines.append(
+            json.dumps(
+                {"op": "pub", "addr": addr, "time_ms": time_ms,
+                 "values": list(map(float, ev.point))}
+            )
+        )
+    Path(path).write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return len(lines)

@@ -1,0 +1,50 @@
+"""Zipfian sampling.
+
+The paper: "The cumulative distribution function for Zipfian
+distribution is H_{k,s} / H_{N,s}, where H_{N,s} is the Nth generalized
+harmonic number with skew factor s and k <= N.  Data points are modeled
+by scaling and shifting the domain of k."
+
+:class:`ZipfSampler` draws ranks by inverse-CDF over the exact harmonic
+weights (N is small, so the table fits comfortably), which reproduces
+that definition precisely -- including ``s = 0``, the uniform edge case.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def zipf_cdf(n: int, s: float) -> np.ndarray:
+    """The CDF ``H_{k,s} / H_{N,s}`` for ranks 1..n."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    if s < 0:
+        raise ValueError("skew must be non-negative")
+    weights = 1.0 / np.power(np.arange(1, n + 1, dtype=np.float64), s)
+    cdf = np.cumsum(weights)
+    cdf /= cdf[-1]
+    return cdf
+
+
+class ZipfSampler:
+    """Draws ranks in ``[1, n]`` with P(k) proportional to ``k^-s``."""
+
+    def __init__(self, n: int, s: float, rng: np.random.Generator) -> None:
+        self.n = n
+        self.s = s
+        self.rng = rng
+        self._cdf = zipf_cdf(n, s)
+
+    def sample(self, size: int | None = None):
+        """Rank(s): an int when ``size`` is None, else an int array."""
+        u = self.rng.random(size)
+        ranks = np.searchsorted(self._cdf, u, side="right") + 1
+        if size is None:
+            return int(ranks)
+        return ranks.astype(np.int64)
+
+    def unit_sample(self, size: int | None = None):
+        """Rank(s) rescaled to [0, 1): (k - 1) / n."""
+        r = self.sample(size)
+        return (r - 1) / self.n

@@ -1,0 +1,88 @@
+"""Tests for table rendering and shape-check reporting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.compare import ShapeReport
+from repro.analysis.tables import format_cdf_table, format_series, format_table
+from repro.sim.stats import Distribution
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        out = format_table(
+            ["name", "value"], [["a", 1.5], ["bcd", 22.25]], title="T"
+        )
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        # Columns align: every row has the same width.
+        assert len(set(len(l) for l in lines[1:])) == 1
+
+    def test_number_formatting(self):
+        out = format_table(["v"], [[0.123456], [1234.5], [12.34], [0]])
+        assert "0.123" in out
+        assert "1234" in out  # no decimals at >= 1000
+        assert "12.3" in out
+
+    def test_empty_rows(self):
+        out = format_table(["a", "b"], [])
+        assert "a" in out
+
+
+class TestCdfTable:
+    def test_percentile_columns(self):
+        d = Distribution.from_values(range(101))
+        out = format_cdf_table({"cfg": d}, points=(50, 100), value_name="config")
+        assert "p50" in out and "p100" in out and "mean" in out
+        assert "cfg" in out
+
+    def test_multiple_configs_rows(self):
+        d1 = Distribution.from_values([1, 2, 3])
+        d2 = Distribution.from_values([10, 20, 30])
+        out = format_cdf_table({"one": d1, "two": d2})
+        assert out.count("\n") >= 3
+
+
+class TestSeries:
+    def test_series_layout(self):
+        out = format_series("x", [1, 2, 3], {"y": [4, 5, 6], "z": [7, 8, 9]})
+        lines = out.splitlines()
+        assert lines[0].startswith("x")
+        assert any(l.strip().startswith("y") for l in lines)
+        assert any(l.strip().startswith("z") for l in lines)
+
+
+class TestShapeReport:
+    def test_expect_less(self):
+        r = ShapeReport("t")
+        assert r.expect_less(1.0, 2.0, "ok")
+        assert not r.expect_less(3.0, 2.0, "bad")
+        assert not r.all_passed
+        rendered = r.render()
+        assert "[PASS] ok" in rendered
+        assert "[FAIL] bad" in rendered
+
+    def test_expect_less_with_slack(self):
+        r = ShapeReport("t")
+        assert r.expect_less(2.05, 2.0, "slacked", slack=1.05)
+
+    def test_expect_greater(self):
+        r = ShapeReport("t")
+        assert r.expect_greater(3.0, 2.0, "ok")
+        assert not r.expect_greater(1.0, 2.0, "bad")
+
+    def test_expect_within(self):
+        r = ShapeReport("t")
+        assert r.expect_within(5.0, 0.0, 10.0, "inside")
+        assert not r.expect_within(11.0, 0.0, 10.0, "outside")
+
+    def test_expect_true(self):
+        r = ShapeReport("t")
+        assert r.expect_true(1 == 1, "yes")
+        assert not r.expect_true(False, "no", detail="why")
+        assert "why" in r.render()
+
+    def test_empty_report_passes(self):
+        assert ShapeReport("t").all_passed

@@ -1,0 +1,81 @@
+"""Tests for the terminal CDF/series plots."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.plots import ascii_cdf_plot, ascii_series_plot
+from repro.sim.stats import Distribution
+
+
+class TestCdfPlot:
+    def dists(self):
+        rng = np.random.default_rng(0)
+        return {
+            "alpha": Distribution.from_values(rng.uniform(0, 10, 500)),
+            "beta": Distribution.from_values(rng.uniform(5, 25, 500)),
+        }
+
+    def test_contains_axes_and_legend(self):
+        out = ascii_cdf_plot(self.dists(), title="T", x_label="hops")
+        assert out.splitlines()[0] == "T"
+        assert "1.00 |" in out
+        assert "0.00 |" in out
+        assert "x: hops" in out
+        assert "*=alpha" in out and "o=beta" in out
+
+    def test_grid_dimensions(self):
+        out = ascii_cdf_plot(self.dists(), width=40, height=10)
+        rows = [l for l in out.splitlines() if "|" in l and "=" not in l]
+        assert len(rows) == 10
+        for row in rows:
+            assert len(row.split("|", 1)[1]) <= 40
+
+    def test_monotone_curve(self):
+        """Glyph rows never go down as x increases (CDFs are monotone)."""
+        d = {"x": Distribution.from_values(range(100))}
+        out = ascii_cdf_plot(d, width=30, height=10)
+        rows = [l.split("|", 1)[1] for l in out.splitlines() if "|" in l]
+        prev_height = None
+        for col in range(30):
+            cells = [i for i, row in enumerate(rows) if col < len(row) and row[col] != " "]
+            if not cells:
+                continue
+            top = min(cells)  # smaller index = higher F(x)
+            if prev_height is not None:
+                assert top <= prev_height
+            prev_height = top
+
+    def test_empty_distribution(self):
+        out = ascii_cdf_plot({"e": Distribution.from_values([])}, title="E")
+        assert "(no data)" in out
+
+    def test_log_scale(self):
+        d = {"x": Distribution.from_values([1, 10, 100, 1000])}
+        out = ascii_cdf_plot(d, log_x=True)
+        assert "(log x)" in out
+
+    def test_degenerate_single_value(self):
+        d = {"x": Distribution.from_values([5.0, 5.0])}
+        out = ascii_cdf_plot(d)
+        assert "|" in out  # renders without division-by-zero
+
+
+class TestSeriesPlot:
+    def test_basic_render(self):
+        out = ascii_series_plot(
+            [1, 2, 4, 8],
+            {"up": [1, 2, 3, 4], "down": [4, 3, 2, 1]},
+            x_label="n",
+            y_label="v",
+            title="S",
+        )
+        assert out.splitlines()[0] == "S"
+        assert "x: n" in out and "y: v" in out
+        assert "*=up" in out and "o=down" in out
+
+    def test_empty(self):
+        assert "(no data)" in ascii_series_plot([], {})
+
+    def test_constant_series(self):
+        out = ascii_series_plot([1, 2], {"flat": [3, 3]})
+        assert "flat" in out

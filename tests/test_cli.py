@@ -1,0 +1,56 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.__main__ import EXPERIMENTS, RUN_ORDER, main
+
+
+class TestDispatcherInProcess:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in RUN_ORDER:
+            assert name in out
+
+    def test_every_run_order_entry_is_known(self):
+        for name in RUN_ORDER:
+            assert name in EXPERIMENTS
+
+    def test_table1_is_informational(self, capsys):
+        assert main(["table1"]) == 0
+        assert "workload specification" in capsys.readouterr().out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_scale_flag_sets_env(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        main(["list", "--scale", "quick"])
+        assert os.environ.get("REPRO_SCALE") == "quick"
+
+    def test_single_experiment_runs_and_reports(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "quick")
+        monkeypatch.setenv("REPRO_NODES", "60")
+        monkeypatch.setenv("REPRO_EVENTS", "60")
+        rc = main(["table2"])
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "finished in" in out
+        assert rc == 0
+
+
+class TestSubprocess:
+    def test_module_entrypoint(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "list"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert proc.returncode == 0
+        assert "fig2" in proc.stdout

@@ -1,0 +1,64 @@
+"""Tests for HyperSubConfig validation and derived values."""
+
+import pytest
+
+from repro.core.config import HyperSubConfig
+
+
+class TestDefaults:
+    def test_paper_defaults(self):
+        cfg = HyperSubConfig()
+        assert cfg.base == 2
+        assert cfg.code_bits == 20
+        assert cfg.max_level == 20
+        assert cfg.overlay == "chord"
+        assert cfg.pns
+        assert cfg.rotation
+        assert not cfg.dynamic_migration
+        assert cfg.migration_delta == 0.1
+        assert cfg.migration_probe_level == 1
+        assert cfg.replication_factor == 1
+        assert not cfg.piggyback_maintenance
+
+    def test_base4_levels(self):
+        assert HyperSubConfig(base=4).max_level == 10
+
+    def test_base16_levels(self):
+        assert HyperSubConfig(base=16).max_level == 5
+
+
+class TestValidation:
+    def test_unknown_overlay(self):
+        with pytest.raises(ValueError):
+            HyperSubConfig(overlay="kademlia")
+
+    def test_bad_base(self):
+        with pytest.raises(ValueError):
+            HyperSubConfig(base=3)
+
+    def test_indivisible_code_bits(self):
+        with pytest.raises(ValueError):
+            HyperSubConfig(base=16, code_bits=22)
+
+    def test_probe_level(self):
+        with pytest.raises(ValueError):
+            HyperSubConfig(migration_probe_level=3)
+
+    def test_negative_delta(self):
+        with pytest.raises(ValueError):
+            HyperSubConfig(migration_delta=-0.1)
+
+    def test_acceptors(self):
+        with pytest.raises(ValueError):
+            HyperSubConfig(migration_max_acceptors=0)
+
+    def test_negative_direct_levels(self):
+        with pytest.raises(ValueError):
+            HyperSubConfig(direct_rendezvous_levels=-1)
+
+    def test_replication_bounds(self):
+        with pytest.raises(ValueError):
+            HyperSubConfig(replication_factor=0)
+        with pytest.raises(ValueError):
+            HyperSubConfig(overlay="pastry", replication_factor=2)
+        HyperSubConfig(replication_factor=4)  # fine on chord

@@ -1,0 +1,132 @@
+"""Tests for the grid matching index (equivalence with the linear store)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.indexing import GridIndex, make_store
+from repro.core.matching import BoxStore
+from repro.core.subscription import SubID
+
+DOM_LO = np.array([0.0, 0.0, 0.0])
+DOM_HI = np.array([100.0, 100.0, 100.0])
+
+
+def grid(cells=8):
+    return GridIndex(3, DOM_LO, DOM_HI, cells_per_dim=cells)
+
+
+class TestBasics:
+    def test_put_and_match(self):
+        g = grid()
+        g.put(SubID(1, 1), np.array([0.0, 0.0, 0.0]), np.array([10.0, 10.0, 10.0]))
+        g.put(SubID(2, 1), np.array([50.0, 50.0, 0.0]), np.array([60.0, 60.0, 100.0]))
+        assert [s.nid for s in g.match_point(np.array([5.0, 5.0, 5.0]))] == [1]
+        assert [s.nid for s in g.match_point(np.array([55.0, 55.0, 99.0]))] == [2]
+        assert g.match_point(np.array([90.0, 90.0, 90.0])) == []
+
+    def test_replace_moves_buckets(self):
+        g = grid()
+        g.put(SubID(1, 1), np.array([0.0, 0.0, 0.0]), np.array([5.0, 5.0, 5.0]))
+        g.put(SubID(1, 1), np.array([90.0, 90.0, 0.0]), np.array([99.0, 99.0, 5.0]))
+        assert not g.match_point(np.array([2.0, 2.0, 2.0]))
+        assert g.match_point(np.array([95.0, 95.0, 2.0]))
+        assert len(g) == 1
+
+    def test_remove_clears_buckets(self):
+        g = grid()
+        g.put(SubID(1, 1), np.array([0.0, 0.0, 0.0]), np.array([99.0, 99.0, 99.0]))
+        g.remove(SubID(1, 1))
+        assert g.match_point(np.array([50.0, 50.0, 50.0])) == []
+        assert not g._buckets  # no leaked bucket entries
+
+    def test_bounding_box_inherited(self):
+        g = grid()
+        g.put(SubID(1, 1), np.array([10.0, 20.0, 30.0]), np.array([11.0, 21.0, 31.0]))
+        lo, hi = g.bounding_box()
+        assert list(lo) == [10, 20, 30]
+
+    def test_domain_validation(self):
+        with pytest.raises(ValueError):
+            GridIndex(2, [0.0, 0.0], [0.0, 1.0])
+        with pytest.raises(ValueError):
+            GridIndex(2, [0.0], [1.0])
+        with pytest.raises(ValueError):
+            GridIndex(2, [0.0, 0.0], [1.0, 1.0], cells_per_dim=0)
+
+    def test_one_dimensional_grid(self):
+        g = GridIndex(1, [0.0], [10.0], cells_per_dim=4)
+        g.put(SubID(1, 1), np.array([2.0]), np.array([3.0]))
+        assert g.match_point(np.array([2.5]))
+        assert not g.match_point(np.array([9.0]))
+
+    def test_query_at_domain_boundaries(self):
+        g = grid()
+        g.put(SubID(1, 1), np.array([95.0, 95.0, 0.0]), np.array([100.0, 100.0, 100.0]))
+        assert g.match_point(np.array([100.0, 100.0, 50.0]))
+
+
+class TestFactory:
+    def test_linear(self):
+        s = make_store("linear", 4)
+        assert type(s) is BoxStore
+
+    def test_grid(self):
+        s = make_store("grid", 3, DOM_LO, DOM_HI)
+        assert isinstance(s, GridIndex)
+
+    def test_grid_needs_bounds(self):
+        with pytest.raises(ValueError):
+            make_store("grid", 3)
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            make_store("rtree", 3)
+
+
+# ----------------------------------------------------------------------
+# Property: GridIndex === BoxStore under any operation sequence
+# ----------------------------------------------------------------------
+coord = st.floats(0, 100, allow_nan=False, width=32).map(float)
+ops = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("put"),
+            st.integers(0, 9),
+            st.tuples(coord, coord),
+            st.tuples(coord, coord),
+            st.tuples(coord, coord),
+        ),
+        st.tuples(st.just("remove"), st.integers(0, 9)),
+        st.tuples(st.just("query"), st.tuples(coord, coord, coord)),
+    ),
+    min_size=1,
+    max_size=50,
+)
+
+
+@given(operations=ops)
+@settings(max_examples=200)
+def test_grid_equals_linear_under_any_sequence(operations):
+    linear = BoxStore(3)
+    indexed = grid(cells=5)
+    for op in operations:
+        if op[0] == "put":
+            _tag, key, xs, ys, zs = op
+            lo = np.array([min(xs), min(ys), min(zs)])
+            hi = np.array([max(xs), max(ys), max(zs)])
+            sid = SubID(key, 0)
+            linear.put(sid, lo, hi)
+            indexed.put(sid, lo, hi)
+        elif op[0] == "remove":
+            sid = SubID(op[1], 0)
+            if sid in linear:
+                linear.remove(sid)
+                indexed.remove(sid)
+        else:
+            p = np.array(op[1])
+            a = sorted(linear.match_point(p), key=lambda s: (s.nid, s.iid))
+            b = sorted(indexed.match_point(p), key=lambda s: (s.nid, s.iid))
+            assert a == b
+    assert len(linear) == len(indexed)

@@ -1,0 +1,226 @@
+"""Unit tests for node-level internals not covered by integration tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Attribute,
+    Event,
+    HyperSubConfig,
+    HyperSubSystem,
+    Scheme,
+    Subscription,
+)
+from repro.core.matching import BoxStore
+from repro.core.node import ZoneRepo, subscription_wire_bytes
+from repro.core.subscription import SubID
+from repro.core.zones import ContentZone, ZoneGeometry
+
+
+def tiny_system(**cfg_kwargs):
+    cfg_kwargs.setdefault("code_bits", 8)
+    cfg_kwargs.setdefault("seed", 3)
+    system = HyperSubSystem(num_nodes=12, config=HyperSubConfig(**cfg_kwargs))
+    scheme = Scheme("s", [Attribute("x", 0, 100), Attribute("y", 0, 100)])
+    system.add_scheme(scheme)
+    return system, scheme
+
+
+class TestWireSizes:
+    def test_subscription_wire_bytes(self):
+        assert subscription_wire_bytes(4) == 9 + 64
+        assert subscription_wire_bytes(1) == 9 + 16
+
+
+class TestZoneRepo:
+    def test_key(self):
+        g = ZoneGeometry(base=2, code_bits=8)
+        repo = ZoneRepo("ent", ContentZone(5, 4, g), BoxStore(2))
+        assert repo.key == ("ent", 5, 4)
+        assert repo.sf is None
+        assert len(repo.store) == 0
+
+
+class TestIidAllocation:
+    def test_monotone_unique(self):
+        system, scheme = tiny_system()
+        node = system.nodes[0]
+        ids = [node._next_iid() for _ in range(100)]
+        assert ids == sorted(set(ids))
+
+
+class TestRegistration:
+    def test_subscribe_installs_at_surrogate(self):
+        system, scheme = tiny_system()
+        sub = Subscription.from_box(scheme, [10, 10], [12, 12])
+        sid = system.subscribe(0, sub)
+        entity = system.entity_for_subscription(sub)
+        zone = entity.zone_of_subscription(sub)
+        home = system.node_at_home(entity.rotated_key(zone))
+        repo = home.zone_repos[(entity.key, zone.code, zone.level)]
+        assert sid in repo.store
+        assert repo.kinds[sid] == "sub"
+
+    def test_summary_filter_covers_registrations(self):
+        system, scheme = tiny_system()
+        subs = [
+            Subscription.from_box(scheme, [10, 10], [12, 12]),
+            Subscription.from_box(scheme, [11, 11], [14, 13]),
+        ]
+        for s in subs:
+            system.subscribe(0, s)
+        entity = system.entity_for_subscription(subs[0])
+        for node in system.nodes:
+            for repo in node.zone_repos.values():
+                if repo.sf is None:
+                    continue
+                lo, hi = repo.sf
+                bb = repo.store.bounding_box()
+                assert np.all(lo <= bb[0]) and np.all(hi >= bb[1])
+
+    def test_markers_only_below_direct_levels(self):
+        system, scheme = tiny_system(direct_rendezvous_levels=5)
+        # A straddling subscription: maps to the root zone (level 0 < 5)
+        # => no cascade at all from there.
+        sub = Subscription.from_box(scheme, [49, 49], [51, 51])
+        system.subscribe(0, sub)
+        total_markers = sum(
+            n.stored_subscription_count("marker") for n in system.nodes
+        )
+        assert total_markers == 0
+
+    def test_cascade_from_deep_zone(self):
+        system, scheme = tiny_system(direct_rendezvous_levels=0)
+        sub = Subscription.from_box(scheme, [49, 49], [51, 51])
+        system.subscribe(0, sub)
+        total_markers = sum(
+            n.stored_subscription_count("marker") for n in system.nodes
+        )
+        assert total_markers > 0
+
+    def test_shallow_occupancy_tracked(self):
+        system, scheme = tiny_system(direct_rendezvous_levels=5)
+        sub = Subscription.from_box(scheme, [49, 49], [51, 51])
+        system.subscribe(0, sub)
+        entity = system.entity_for_subscription(sub)
+        zone = entity.zone_of_subscription(sub)
+        assert zone.level == 0
+        assert system.shallow_occupied((entity.key, zone.code, zone.level))
+        assert not system.shallow_occupied((entity.key, 1, 1))
+
+
+class TestEventEdgeCases:
+    def test_stale_subid_dropped_silently(self):
+        system, scheme = tiny_system()
+        node = system.nodes[0]
+        from repro.sim.messages import Message
+
+        msg = Message(
+            src=0, dst=0, kind="ps_event",
+            payload={
+                "event_id": 999,
+                "scheme": "s",
+                "point": np.array([1.0, 1.0]),
+                "entries": [(node.node_id, 424242)],  # unknown iid
+            },
+            size_bytes=0,
+        )
+        node._process_event(msg)  # must not raise
+        system.run_until_idle()
+
+    def test_event_to_empty_leaf_dies_quietly(self):
+        system, scheme = tiny_system()
+        system.finish_setup()
+        eid = system.publish(0, Event(scheme, {"x": 99, "y": 99}))
+        system.run_until_idle()
+        assert system.metrics.records[eid].matched == 0
+
+    def test_wrong_scheme_marker_ignored(self):
+        """A rendezvous key collision across schemes must not match."""
+        system, scheme = tiny_system(rotation=False)
+        other = Scheme("t", [Attribute("x", 0, 100), Attribute("y", 0, 100)])
+        system.add_scheme(other)
+        sub = Subscription.from_box(scheme, [10, 10], [11, 11])
+        system.subscribe(0, sub)
+        system.finish_setup()
+        # Event in the *other* scheme at the same point: no rotation, so
+        # the rendezvous keys collide -- scheme check must filter.
+        eid = system.publish(0, Event(other, {"x": 10.5, "y": 10.5}))
+        system.run_until_idle()
+        assert system.metrics.records[eid].matched == 0
+
+
+class TestPiggybackThrottle:
+    def test_only_pred_succ_links(self):
+        system, scheme = tiny_system(piggyback_maintenance=True)
+        node = system.nodes[0]
+        succ_addr = node.successors[0][1]
+        pred_addr = node.predecessor[1]
+        other = next(
+            a for a in range(12)
+            if a not in (succ_addr, pred_addr, node.addr)
+        )
+        assert node._pb_due(succ_addr)
+        assert node._pb_due(pred_addr)
+        assert not node._pb_due(other)
+
+    def test_throttled_within_interval(self):
+        system, scheme = tiny_system(piggyback_maintenance=True)
+        node = system.nodes[0]
+        succ_addr = node.successors[0][1]
+        assert node._pb_due(succ_addr)
+        assert not node._pb_due(succ_addr)  # immediately again: throttled
+
+    def test_absorb_piggyback_sets_predecessor(self):
+        system, scheme = tiny_system()
+        node = system.nodes[0]
+        true_pred = node.predecessor
+        node.predecessor = None
+        node.absorb_piggyback(true_pred[0], true_pred[1], None, None)
+        assert node.predecessor == true_pred
+
+    def test_absorb_does_not_regress_predecessor(self):
+        system, scheme = tiny_system()
+        node = system.nodes[0]
+        true_pred = node.predecessor
+        # Some node *before* the true predecessor must not displace it.
+        far = system.ring.predecessor(true_pred[0])
+        node.absorb_piggyback(far, system.ring.addr(far), None, None)
+        assert node.predecessor == true_pred
+
+
+class TestUnsubscribeSimulated:
+    def test_unsubscribe_via_messages(self):
+        system, scheme = tiny_system(simulate_install=True)
+        sub = Subscription.from_box(scheme, [10, 10], [12, 12])
+        sid = system.subscribe(0, sub)
+        system.finish_setup()
+        assert system.metrics.total_subscriptions == 1
+        system.unsubscribe(0, sid)
+        system.run_until_idle()
+        eid = system.publish(1, Event(scheme, {"x": 11, "y": 11}))
+        system.run_until_idle()
+        assert system.metrics.records[eid].matched == 0
+
+
+class TestMigrationInternals:
+    def test_markers_never_migrate(self):
+        system, scheme = tiny_system(
+            dynamic_migration=True, direct_rendezvous_levels=0
+        )
+        rng = np.random.default_rng(0)
+        for _ in range(150):
+            c = rng.uniform(10, 80, 2)
+            sub = Subscription.from_box(
+                scheme, list(c), list(np.minimum(c + rng.uniform(1, 20), 100))
+            )
+            system.subscribe(int(rng.integers(0, 12)), sub)
+        system.finish_setup()
+        markers_before = sum(
+            n.stored_subscription_count("marker") for n in system.nodes
+        )
+        system.run_migration_rounds(2)
+        markers_after = sum(
+            n.stored_subscription_count("marker") for n in system.nodes
+        )
+        assert markers_after == markers_before

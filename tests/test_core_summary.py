@@ -1,0 +1,125 @@
+"""Tests for summary-filter box arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.summary import boxes_equal, child_pieces, intersect_box, merge_box
+from repro.core.zones import ContentZone, ZoneGeometry
+
+
+def B(lo, hi):
+    return np.array(lo, dtype=float), np.array(hi, dtype=float)
+
+
+class TestMergeBox:
+    def test_first_merge_initialises(self):
+        merged, changed = merge_box(None, B([1, 2], [3, 4]))
+        assert changed
+        assert list(merged[0]) == [1, 2]
+
+    def test_contained_addition_is_unchanged(self):
+        cur = B([0, 0], [10, 10])
+        merged, changed = merge_box(cur, B([2, 2], [3, 3]))
+        assert not changed
+        assert boxes_equal(merged, cur)
+
+    def test_growth_detected(self):
+        merged, changed = merge_box(B([0, 0], [10, 10]), B([5, 5], [15, 15]))
+        assert changed
+        assert list(merged[1]) == [15, 15]
+        assert list(merged[0]) == [0, 0]
+
+    def test_boundary_touch_is_unchanged(self):
+        merged, changed = merge_box(B([0], [10]), B([10], [10]))
+        assert not changed
+
+
+class TestIntersect:
+    def test_overlap(self):
+        out = intersect_box(B([0, 0], [10, 10]), B([5, 5], [15, 15]))
+        assert list(out[0]) == [5, 5] and list(out[1]) == [10, 10]
+
+    def test_disjoint_returns_none(self):
+        assert intersect_box(B([0], [1]), B([2], [3])) is None
+
+    def test_touching_is_degenerate_not_none(self):
+        out = intersect_box(B([0], [5]), B([5], [9]))
+        assert list(out[0]) == [5] and list(out[1]) == [5]
+
+
+class TestChildPieces:
+    G = ZoneGeometry(base=2, code_bits=8)
+
+    def test_straddling_filter_splits_into_both_children(self):
+        zone = ContentZone.root(self.G)
+        zbox = B([0, 0], [100, 100])
+        sf = B([40, 10], [60, 20])
+        pieces = child_pieces(zone, sf, zbox, entity_dims=[0, 1])
+        assert set(pieces) == {0, 1}
+        lo0, hi0 = pieces[0]
+        assert hi0[0] == 50 and lo0[0] == 40
+        lo1, hi1 = pieces[1]
+        assert lo1[0] == 50 and hi1[0] == 60
+        # Non-split dimension untouched.
+        assert lo0[1] == 10 and hi0[1] == 20
+
+    def test_one_sided_filter_yields_one_piece(self):
+        zone = ContentZone.root(self.G)
+        pieces = child_pieces(
+            zone, B([10, 10], [20, 20]), B([0, 0], [100, 100]), entity_dims=[0, 1]
+        )
+        assert set(pieces) == {0}
+
+    def test_split_dimension_advances_with_level(self):
+        zone = ContentZone.root(self.G).child(0)  # level 1: splits dim 1
+        zbox = B([0, 0], [50, 100])
+        sf = B([10, 40], [20, 60])
+        pieces = child_pieces(zone, sf, zbox, entity_dims=[0, 1])
+        assert set(pieces) == {0, 1}
+        assert pieces[0][1][1] == 50  # piece 0 clipped at y = 50
+
+    def test_subscheme_dims_map_to_full_space(self):
+        """Entity over full-dims [2, 3] of a 4-dim scheme: splitting
+        must clip full dimension 2, never dimension 0."""
+        zone = ContentZone.root(self.G)
+        zbox = B([0, 0], [100, 100])  # projected space of dims (2, 3)
+        sf = B([1, 2, 40, 3], [9, 8, 70, 7])  # full 4-dim filter
+        pieces = child_pieces(zone, sf, zbox, entity_dims=[2, 3])
+        assert set(pieces) == {0, 1}
+        lo0, hi0 = pieces[0]
+        assert hi0[2] == 50
+        assert lo0[0] == 1 and hi0[0] == 9  # untouched dims pass through
+
+    def test_base4_pieces(self):
+        g4 = ZoneGeometry(base=4, code_bits=8)
+        zone = ContentZone.root(g4)
+        pieces = child_pieces(
+            zone, B([10, 0], [90, 1]), B([0, 0], [100, 1]), entity_dims=[0, 1]
+        )
+        assert set(pieces) == {0, 1, 2, 3}
+        assert pieces[1][0][0] == 25 and pieces[1][1][0] == 50
+
+
+@given(
+    lo=st.floats(0, 99, allow_nan=False),
+    width=st.floats(0.01, 100, allow_nan=False),
+)
+@settings(max_examples=200)
+def test_pieces_cover_filter_exactly(lo, width):
+    """Union of pieces == sf (clipped to the zone box)."""
+    g = ZoneGeometry(base=4, code_bits=8)
+    zone = ContentZone.root(g)
+    hi = min(lo + width, 100.0)
+    sf = B([lo], [hi])
+    pieces = child_pieces(zone, sf, B([0.0], [100.0]), entity_dims=[0])
+    assert pieces, "non-empty filter must produce pieces"
+    plo = min(p[0][0] for p in pieces.values())
+    phi = max(p[1][0] for p in pieces.values())
+    assert plo == pytest.approx(lo)
+    assert phi == pytest.approx(hi)
+    # Pieces tile without gaps: sorted boundaries line up.
+    spans = sorted((p[0][0], p[1][0]) for p in pieces.values())
+    for (a_lo, a_hi), (b_lo, b_hi) in zip(spans, spans[1:]):
+        assert b_lo <= a_hi + 1e-9

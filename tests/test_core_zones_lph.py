@@ -1,0 +1,282 @@
+"""Unit + property tests for content zones and locality-preserving hashing.
+
+The property tests pin down the delivery invariant everything rests on:
+for any point p inside a box b, ``lph_point(p)`` descends from
+``lph_box(b)``.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.lph import lph_box, lph_point
+from repro.core.zones import ContentZone, ZoneGeometry, zone_key
+from repro.dht.idspace import ID_SPACE
+
+
+G2 = ZoneGeometry(base=2, code_bits=20)
+G4 = ZoneGeometry(base=4, code_bits=20)
+G_SMALL = ZoneGeometry(base=2, code_bits=8)
+
+
+class TestZoneGeometry:
+    def test_paper_configurations(self):
+        assert G2.max_level == 20
+        assert G4.max_level == 10
+
+    def test_non_power_of_two_base_rejected(self):
+        with pytest.raises(ValueError):
+            ZoneGeometry(base=3, code_bits=20)
+
+    def test_indivisible_code_bits_rejected(self):
+        with pytest.raises(ValueError):
+            ZoneGeometry(base=16, code_bits=21)
+
+    def test_bits_per_digit(self):
+        assert G2.bits_per_digit == 1
+        assert G4.bits_per_digit == 2
+
+
+class TestZoneKey:
+    def test_root_key_is_max_of_code_field(self):
+        # Root: code padded entirely with (base-1)s, low bits all ones.
+        assert zone_key(0, 0, G2) == ID_SPACE - 1
+
+    def test_paper_formula(self):
+        # key(cz) = (code+1) * base^(m-level) - 1, shifted to the top bits.
+        for code, level in [(0, 1), (1, 1), (5, 4), (2**19 - 1, 19)]:
+            expected_code = (code + 1) * 2 ** (20 - level) - 1
+            assert zone_key(code, level, G2) >> 44 == expected_code
+
+    def test_leaf_key_is_code_itself(self):
+        key = zone_key(0b1010, 20, ZoneGeometry(base=2, code_bits=20))
+        assert key >> 44 == 0b1010
+
+    def test_key_is_last_id_of_zone_arc(self):
+        """A zone's key must be >= the key of every descendant."""
+        z = ContentZone(1, 1, G_SMALL)
+        for child in z.children():
+            assert child.key <= z.key
+
+    def test_invalid_code_rejected(self):
+        with pytest.raises(ValueError):
+            zone_key(4, 1, G2)  # level-1 base-2 codes are 0 or 1
+        with pytest.raises(ValueError):
+            zone_key(0, 25, G2)
+
+
+class TestContentZone:
+    def test_parent_child_roundtrip(self):
+        z = ContentZone(0b101, 3, G_SMALL)
+        assert z.child(1).parent() == z
+        assert ContentZone.root(G_SMALL).parent() is None
+
+    def test_digits(self):
+        z = ContentZone(0b101, 3, G_SMALL)
+        assert z.digits() == [1, 0, 1]
+        assert ContentZone.root(G_SMALL).digits() == []
+
+    def test_leaf_has_no_children(self):
+        leaf = ContentZone(0, G_SMALL.max_level, G_SMALL)
+        assert leaf.is_leaf
+        with pytest.raises(ValueError):
+            leaf.child(0)
+
+    def test_ancestry(self):
+        root = ContentZone.root(G_SMALL)
+        z = root.child(1).child(0).child(1)
+        assert root.is_ancestor_of(z)
+        assert root.child(1).is_ancestor_of(z)
+        assert not root.child(0).is_ancestor_of(z)
+        assert z.is_ancestor_of(z)
+
+    def test_box_partitions_space(self):
+        dom_lo = np.array([0.0, 0.0])
+        dom_hi = np.array([8.0, 4.0])
+        root = ContentZone.root(G_SMALL)
+        # level-1 children split dimension 0 in half
+        c0, c1 = root.child(0), root.child(1)
+        b0 = c0.box(dom_lo, dom_hi)
+        b1 = c1.box(dom_lo, dom_hi)
+        assert list(b0[0]) == [0, 0] and list(b0[1]) == [4, 4]
+        assert list(b1[0]) == [4, 0] and list(b1[1]) == [8, 4]
+
+    def test_split_dimension_cycles(self):
+        z = ContentZone.root(G_SMALL)
+        assert z.split_dimension(3) == 0
+        assert z.child(0).split_dimension(3) == 1
+        assert z.child(0).child(0).split_dimension(3) == 2
+        assert z.child(0).child(0).child(0).split_dimension(3) == 0
+
+
+class TestLPHBasics:
+    dom_lo = np.array([0.0, 0.0])
+    dom_hi = np.array([100.0, 100.0])
+
+    def test_tiny_box_goes_deep(self):
+        z = lph_box(
+            np.array([10.0, 10.0]),
+            np.array([10.1, 10.1]),
+            self.dom_lo,
+            self.dom_hi,
+            G_SMALL,
+        )
+        assert z.level == G_SMALL.max_level
+
+    def test_straddling_box_stays_at_root(self):
+        z = lph_box(
+            np.array([49.0, 49.0]),
+            np.array([51.0, 51.0]),
+            self.dom_lo,
+            self.dom_hi,
+            G_SMALL,
+        )
+        assert z.level == 0
+
+    def test_half_space_box(self):
+        z = lph_box(
+            np.array([0.0, 0.0]),
+            np.array([49.0, 100.0]),
+            self.dom_lo,
+            self.dom_hi,
+            G_SMALL,
+        )
+        assert z.level == 1
+        assert z.digits() == [0]
+
+    def test_domain_top_boundary_covered(self):
+        """A box touching the very top of the domain must still descend."""
+        z = lph_box(
+            np.array([99.0, 99.0]),
+            np.array([100.0, 100.0]),
+            self.dom_lo,
+            self.dom_hi,
+            G_SMALL,
+        )
+        assert z.level >= 6
+
+    def test_point_maps_to_leaf(self):
+        z = lph_point(np.array([10.0, 10.0]), self.dom_lo, self.dom_hi, G_SMALL)
+        assert z.is_leaf
+
+    def test_point_at_domain_top(self):
+        z = lph_point(np.array([100.0, 100.0]), self.dom_lo, self.dom_hi, G_SMALL)
+        assert z.is_leaf
+        assert all(d == 1 for d in z.digits())
+
+    def test_out_of_domain_rejected(self):
+        with pytest.raises(ValueError):
+            lph_point(np.array([101.0, 0.0]), self.dom_lo, self.dom_hi, G_SMALL)
+        with pytest.raises(ValueError):
+            lph_box(
+                np.array([0.0, -1.0]),
+                np.array([1.0, 1.0]),
+                self.dom_lo,
+                self.dom_hi,
+                G_SMALL,
+            )
+
+    def test_deterministic(self):
+        a = lph_box(
+            np.array([3.0, 7.0]), np.array([5.0, 9.0]), self.dom_lo, self.dom_hi, G2
+        )
+        b = lph_box(
+            np.array([3.0, 7.0]), np.array([5.0, 9.0]), self.dom_lo, self.dom_hi, G2
+        )
+        assert a == b
+
+
+# ----------------------------------------------------------------------
+# Property tests
+# ----------------------------------------------------------------------
+
+coords = st.floats(min_value=0.0, max_value=1000.0, allow_nan=False, width=64)
+
+
+def _box_strategy(dims):
+    return st.tuples(
+        st.lists(coords, min_size=dims, max_size=dims),
+        st.lists(coords, min_size=dims, max_size=dims),
+    ).map(
+        lambda t: (
+            np.minimum(np.array(t[0]), np.array(t[1])),
+            np.maximum(np.array(t[0]), np.array(t[1])),
+        )
+    )
+
+
+@given(box=_box_strategy(3), u=st.lists(st.floats(0, 1), min_size=3, max_size=3))
+@settings(max_examples=300)
+def test_point_in_box_maps_into_subscription_zone(box, u):
+    """THE delivery invariant: leaf(point) descends from zone(box)."""
+    dom_lo = np.zeros(3)
+    dom_hi = np.full(3, 1000.0)
+    lows, highs = box
+    point = lows + np.array(u) * (highs - lows)
+    point = np.clip(point, lows, highs)
+    geometry = ZoneGeometry(base=2, code_bits=12)
+    sub_zone = lph_box(lows, highs, dom_lo, dom_hi, geometry)
+    leaf = lph_point(point, dom_lo, dom_hi, geometry)
+    assert sub_zone.is_ancestor_of(leaf)
+
+
+@given(box=_box_strategy(2))
+@settings(max_examples=300)
+def test_zone_box_covers_subscription_box(box):
+    """The mapped zone's hyper-rectangle contains the subscription."""
+    dom_lo = np.zeros(2)
+    dom_hi = np.full(2, 1000.0)
+    lows, highs = box
+    geometry = ZoneGeometry(base=4, code_bits=12)
+    zone = lph_box(lows, highs, dom_lo, dom_hi, geometry)
+    z_lo, z_hi = zone.box(dom_lo, dom_hi)
+    assert np.all(z_lo <= lows + 1e-9)
+    assert np.all(z_hi >= highs - 1e-9)
+
+
+@given(
+    u=st.lists(st.floats(0, 1), min_size=2, max_size=2),
+    base_pow=st.sampled_from([2, 4, 16]),
+)
+@settings(max_examples=300)
+def test_leaf_zones_partition_points(u, base_pow):
+    """Every point maps to exactly one leaf, whose box contains it."""
+    dom_lo = np.zeros(2)
+    dom_hi = np.full(2, 1000.0)
+    point = np.array(u) * 1000.0
+    geometry = ZoneGeometry(base=base_pow, code_bits=12)
+    leaf = lph_point(point, dom_lo, dom_hi, geometry)
+    z_lo, z_hi = leaf.box(dom_lo, dom_hi)
+    assert np.all(z_lo <= point + 1e-9)
+    assert np.all(point <= z_hi + 1e-9)
+
+
+@given(box=_box_strategy(2))
+@settings(max_examples=200)
+def test_zone_is_smallest_cover(box):
+    """No child of the mapped zone also covers the box (minimality)."""
+    dom_lo = np.zeros(2)
+    dom_hi = np.full(2, 1000.0)
+    lows, highs = box
+    geometry = ZoneGeometry(base=2, code_bits=10)
+    zone = lph_box(lows, highs, dom_lo, dom_hi, geometry)
+    if zone.is_leaf:
+        return
+    for child in zone.children():
+        c_lo, c_hi = child.box(dom_lo, dom_hi)
+        j = zone.split_dimension(2)
+        # "covers" uses the strict-upper-bound convention of lph_box.
+        covers = lows[j] >= c_lo[j] and (
+            highs[j] < c_hi[j] or c_hi[j] >= dom_hi[j]
+        )
+        assert not covers, "lph_box returned a non-minimal zone"
+
+
+@given(codes=st.integers(min_value=0, max_value=2**8 - 1))
+@settings(max_examples=200)
+def test_keys_unique_per_level(codes):
+    """Distinct zones at the same level get distinct keys."""
+    g = ZoneGeometry(base=2, code_bits=8)
+    other = (codes + 1) % 2**8
+    assert zone_key(codes, 8, g) != zone_key(other, 8, g)

@@ -1,0 +1,121 @@
+"""Tests for the Koorde (de Bruijn) overlay."""
+
+import random
+
+import pytest
+
+from repro.dht.koorde import KoordeNode, build_koorde_overlay
+from repro.sim.engine import Simulator
+from repro.sim.network import Network
+from repro.sim.topology import ConstantTopology
+
+
+def build(n, seed=3):
+    sim = Simulator()
+    net = Network(sim, ConstantTopology(n, rtt=20.0))
+    nodes, ring = build_koorde_overlay(net, seed=seed)
+    return sim, net, nodes, ring
+
+
+class TestConstruction:
+    def test_ring_pointers(self):
+        _, _, nodes, ring = build(50)
+        for node in nodes:
+            assert node.predecessor[0] == ring.predecessor(node.node_id)
+            assert node.successor[0] == ring.successor(
+                (node.node_id + 1) % (1 << 64)
+            )
+
+    def test_debruijn_pointer_acts_for_doubled_id(self):
+        _, _, nodes, ring = build(50)
+        for node in nodes:
+            assert node.debruijn[0] == ring.predecessor(
+                (2 * node.node_id) % (1 << 64)
+            )
+
+    def test_degree_is_constant(self):
+        """The whole point of Koorde: O(1) routing state per node."""
+        _, _, nodes, _ = build(200)
+        for node in nodes:
+            assert len(node.neighbor_addrs()) <= 3  # succ + debruijn + pred
+
+
+class TestLookup:
+    def test_lookup_correct_sequentially(self):
+        sim, _, nodes, ring = build(128)
+        rng = random.Random(0)
+        for _ in range(150):
+            key = rng.getrandbits(64)
+            res = []
+            nodes[rng.randrange(128)].lookup_koorde(key, res.append)
+            sim.run_until_idle()
+            home_id, _addr, _hops = res[0]
+            assert home_id == ring.successor(key)
+
+    def test_lookup_correct_concurrently(self):
+        """Interleaved lookups must not cross-talk (lid routing)."""
+        sim, _, nodes, ring = build(100)
+        rng = random.Random(1)
+        results = {}
+        keys = {}
+        for i in range(60):
+            key = rng.getrandbits(64)
+            keys[i] = key
+            nodes[rng.randrange(100)].lookup_koorde(
+                key, lambda r, i=i: results.__setitem__(i, r)
+            )
+        sim.run_until_idle()
+        assert len(results) == 60
+        for i, key in keys.items():
+            assert results[i][0] == ring.successor(key)
+
+    def test_hops_logarithmic(self):
+        rng = random.Random(2)
+        means = {}
+        for n in (64, 512):
+            sim, _, nodes, ring = build(n)
+            hops = []
+            for _ in range(100):
+                key = rng.getrandbits(64)
+                res = []
+                nodes[rng.randrange(n)].lookup_koorde(key, res.append)
+                sim.run_until_idle()
+                hops.append(res[0][2])
+            means[n] = sum(hops) / len(hops)
+        # 8x more nodes: far less than 8x the hops (constant-degree log N).
+        assert means[512] < 3 * means[64]
+        assert means[512] < 60
+
+    def test_own_key_zero_hops(self):
+        sim, _, nodes, _ = build(40)
+        res = []
+        nodes[7].lookup_koorde(nodes[7].node_id, res.append)
+        sim.run_until_idle()
+        assert res[0][0] == nodes[7].node_id
+        assert res[0][2] == 0
+
+    def test_stateless_next_hop_still_terminates(self):
+        """The successor-walk fallback is O(N) but correct."""
+        _, _, nodes, ring = build(30)
+        rng = random.Random(3)
+        for _ in range(20):
+            key = rng.getrandbits(64)
+            cur = nodes[rng.randrange(30)]
+            hops = 0
+            while True:
+                nxt = cur.next_hop_addr(key)
+                if nxt is None:
+                    break
+                cur = nodes[nxt]
+                hops += 1
+                assert hops <= 30
+            assert cur.node_id == ring.successor(key)
+
+    def test_single_node(self):
+        sim = Simulator()
+        net = Network(sim, ConstantTopology(1))
+        nodes, _ = build_koorde_overlay(net, seed=1)
+        res = []
+        nodes[0].lookup_koorde(12345, res.append)
+        sim.run_until_idle()
+        assert res[0][0] == nodes[0].node_id

@@ -1,0 +1,66 @@
+"""Property tests for Meghdoot's content-space <-> CAN-space mapping.
+
+The mapping's correctness condition: a subscription matches an event
+**iff** the subscription's 2d-point lies inside the event's affected
+region.  If this ever breaks, Meghdoot either floods too little (missed
+deliveries) or its zones stop being a filter at all.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.meghdoot import MeghdootSystem
+from repro.core.event import Event
+from repro.core.scheme import Attribute, Scheme
+from repro.core.subscription import Subscription
+from repro.sim.topology import ConstantTopology
+
+DOMAIN = 1000.0
+
+_scheme = Scheme("p", [Attribute("x", 0, DOMAIN), Attribute("y", 0, DOMAIN)])
+_system = MeghdootSystem(_scheme, topology=ConstantTopology(4, rtt=10.0))
+
+coord = st.floats(0, DOMAIN, allow_nan=False, width=32).map(float)
+
+
+def make_box(a, b, c, d):
+    lows = [min(a, b), min(c, d)]
+    highs = [max(a, b), max(c, d)]
+    return Subscription.from_box(_scheme, lows, highs)
+
+
+@given(a=coord, b=coord, c=coord, d=coord, ex=coord, ey=coord)
+@settings(max_examples=500)
+def test_match_iff_point_in_affected_region(a, b, c, d, ex, ey):
+    sub = make_box(a, b, c, d)
+    ev = Event(_scheme, {"x": ex, "y": ey})
+    point = _system.sub_point(sub)
+    lows, highs = _system.affected_region(ev)
+    in_region = bool(
+        np.all(np.asarray(lows) <= point) and np.all(point <= np.asarray(highs))
+    )
+    assert in_region == sub.matches(ev)
+
+
+@given(a=coord, b=coord, c=coord, d=coord)
+@settings(max_examples=300)
+def test_sub_point_in_unit_cube(a, b, c, d):
+    point = _system.sub_point(make_box(a, b, c, d))
+    assert point.shape == (4,)
+    assert np.all(point >= 0.0) and np.all(point <= 1.0)
+
+
+@given(ex=coord, ey=coord)
+@settings(max_examples=300)
+def test_event_point_is_region_corner(ex, ey):
+    """The event's 2d-point is a corner of its affected region, which is
+    why routing to it before flooding reaches the region at all."""
+    ev = Event(_scheme, {"x": ex, "y": ey})
+    p = _system.event_point(ev)
+    lows, highs = _system.affected_region(ev)
+    lows, highs = np.asarray(lows), np.asarray(highs)
+    assert np.all(lows <= p) and np.all(p <= highs)
+    # Each coordinate sits on a face of the region.
+    on_face = (p == lows) | (p == highs)
+    assert np.all(on_face)

@@ -1,0 +1,111 @@
+"""Meta-tests: the documentation, CLI and benchmark harness stay in sync.
+
+Refactors that rename an experiment or benchmark must update every
+reference; these tests make the drift visible immediately.
+"""
+
+import importlib
+import pathlib
+import re
+
+import pytest
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+
+class TestCliRegistry:
+    def test_every_cli_experiment_module_imports_and_runs(self):
+        from repro.__main__ import EXPERIMENTS, RUN_ORDER
+
+        for name in RUN_ORDER:
+            mod_name, _desc = EXPERIMENTS[name]
+            module = importlib.import_module(mod_name)
+            assert callable(getattr(module, "run", None)), mod_name
+            assert callable(getattr(module, "main", None)), mod_name
+
+    def test_every_experiment_module_is_in_the_cli(self):
+        from repro.__main__ import EXPERIMENTS
+
+        registered = {mod for mod, _ in EXPERIMENTS.values()}
+        exp_dir = REPO / "src" / "repro" / "experiments"
+        for path in exp_dir.glob("*.py"):
+            if path.stem in ("__init__", "common"):
+                continue
+            assert f"repro.experiments.{path.stem}" in registered, (
+                f"experiment module {path.stem} missing from the CLI registry"
+            )
+
+
+class TestDesignIndex:
+    def test_every_bench_target_in_design_exists(self):
+        design = (REPO / "DESIGN.md").read_text(encoding="utf-8")
+        targets = set(re.findall(r"benchmarks/(bench_\w+\.py)", design))
+        assert targets, "DESIGN.md lists no bench targets?"
+        for target in targets:
+            assert (REPO / "benchmarks" / target).exists(), target
+
+    def test_every_bench_file_is_indexed_in_design(self):
+        design = (REPO / "DESIGN.md").read_text(encoding="utf-8")
+        for path in (REPO / "benchmarks").glob("bench_*.py"):
+            assert path.name in design, (
+                f"{path.name} not referenced in DESIGN.md's experiment index"
+            )
+
+    def test_design_module_references_resolve(self):
+        design = (REPO / "DESIGN.md").read_text(encoding="utf-8")
+        for mod in set(re.findall(r"`(repro\.[a-z_.]+)`", design)):
+            importlib.import_module(mod)
+
+
+class TestReadme:
+    def test_readme_examples_exist_and_compile(self):
+        readme = (REPO / "README.md").read_text(encoding="utf-8")
+        examples = set(re.findall(r"examples/(\w+\.py)", readme))
+        assert len(examples) >= 3, "README must advertise >= 3 examples"
+        for name in examples:
+            path = REPO / "examples" / name
+            assert path.exists(), name
+            compile(path.read_text(encoding="utf-8"), str(path), "exec")
+
+    def test_readme_bench_table_matches_files(self):
+        readme = (REPO / "README.md").read_text(encoding="utf-8")
+        for target in set(re.findall(r"`(bench_\w+\.py)`", readme)):
+            assert (REPO / "benchmarks" / target).exists(), target
+
+
+class TestExperimentsDoc:
+    def test_every_experiment_md_bench_exists(self):
+        text = (REPO / "EXPERIMENTS.md").read_text(encoding="utf-8")
+        for target in set(re.findall(r"`(bench_\w+\.py)`", text)):
+            assert (REPO / "benchmarks" / target).exists(), target
+
+    def test_required_docs_exist(self):
+        for name in ("README.md", "DESIGN.md", "EXPERIMENTS.md",
+                     "docs/ALGORITHMS.md", "docs/SIMULATOR.md"):
+            assert (REPO / name).exists(), name
+
+
+class TestPublicApi:
+    def test_root_exports_resolve(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_subpackage_exports_resolve(self):
+        for pkg in ("repro.core", "repro.dht", "repro.sim",
+                    "repro.workloads", "repro.baselines", "repro.analysis"):
+            module = importlib.import_module(pkg)
+            for name in getattr(module, "__all__", []):
+                assert getattr(module, name, None) is not None, (pkg, name)
+
+    def test_public_items_have_docstrings(self):
+        """Deliverable (e): doc comments on every public item."""
+        for pkg in ("repro", "repro.core", "repro.dht", "repro.sim",
+                    "repro.workloads", "repro.baselines", "repro.analysis"):
+            module = importlib.import_module(pkg)
+            assert module.__doc__, pkg
+            for name in getattr(module, "__all__", []):
+                obj = getattr(module, name)
+                if callable(obj) or isinstance(obj, type):
+                    assert obj.__doc__, f"{pkg}.{name} lacks a docstring"

@@ -1,0 +1,153 @@
+"""Unit tests for the discrete-event scheduler."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(5.0, fired.append, "late")
+    sim.schedule(1.0, fired.append, "early")
+    sim.schedule(3.0, fired.append, "mid")
+    sim.run()
+    assert fired == ["early", "mid", "late"]
+
+
+def test_ties_break_by_insertion_order():
+    sim = Simulator()
+    fired = []
+    for label in "abcde":
+        sim.schedule(2.0, fired.append, label)
+    sim.run()
+    assert fired == list("abcde")
+
+
+def test_clock_advances_to_event_time():
+    sim = Simulator()
+    seen = []
+    sim.schedule(7.5, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [7.5]
+    assert sim.now == 7.5
+
+
+def test_nested_scheduling_relative_to_now():
+    sim = Simulator()
+    times = []
+
+    def outer():
+        times.append(sim.now)
+        sim.schedule(2.0, inner)
+
+    def inner():
+        times.append(sim.now)
+
+    sim.schedule(3.0, outer)
+    sim.run()
+    assert times == [3.0, 5.0]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.schedule(-1.0, lambda: None)
+
+
+def test_schedule_in_past_rejected():
+    sim = Simulator()
+    sim.schedule(10.0, lambda: None)
+    sim.run()
+    with pytest.raises(ValueError):
+        sim.schedule_at(5.0, lambda: None)
+
+
+def test_cancellation_skips_callback():
+    sim = Simulator()
+    fired = []
+    handle = sim.schedule(1.0, fired.append, "x")
+    sim.schedule(2.0, fired.append, "y")
+    handle.cancel()
+    sim.run()
+    assert fired == ["y"]
+
+
+def test_cancel_is_idempotent():
+    sim = Simulator()
+    handle = sim.schedule(1.0, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    assert sim.run() == 0
+
+
+def test_run_until_stops_before_later_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "a")
+    sim.schedule(10.0, fired.append, "b")
+    executed = sim.run(until=5.0)
+    assert executed == 1
+    assert fired == ["a"]
+    assert sim.now == 5.0  # clock advanced to the horizon
+    sim.run()
+    assert fired == ["a", "b"]
+
+
+def test_run_until_boundary_is_inclusive():
+    sim = Simulator()
+    fired = []
+    sim.schedule(5.0, fired.append, "edge")
+    sim.run(until=5.0)
+    assert fired == ["edge"]
+
+
+def test_max_events_limits_execution():
+    sim = Simulator()
+    fired = []
+    for i in range(10):
+        sim.schedule(float(i), fired.append, i)
+    sim.run(max_events=3)
+    assert fired == [0, 1, 2]
+
+
+def test_step_returns_false_when_idle():
+    sim = Simulator()
+    assert sim.step() is False
+    sim.schedule(1.0, lambda: None)
+    assert sim.step() is True
+    assert sim.step() is False
+
+
+def test_processed_counter():
+    sim = Simulator()
+    for i in range(4):
+        sim.schedule(float(i), lambda: None)
+    sim.run()
+    assert sim.processed == 4
+
+
+def test_run_until_idle_raises_on_runaway():
+    sim = Simulator()
+
+    def rescheduler():
+        sim.schedule(1.0, rescheduler)
+
+    sim.schedule(0.0, rescheduler)
+    with pytest.raises(RuntimeError):
+        sim.run_until_idle(max_events=50)
+
+
+def test_zero_delay_events_run_after_current_callback():
+    sim = Simulator()
+    order = []
+
+    def first():
+        order.append("first")
+        sim.schedule(0.0, order.append, "chained")
+
+    sim.schedule(1.0, first)
+    sim.schedule(1.0, order.append, "second")
+    sim.run()
+    # Chained zero-delay event fires at the same time but later sequence.
+    assert order == ["first", "second", "chained"]

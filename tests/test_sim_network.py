@@ -1,0 +1,143 @@
+"""Tests for the packet-level network fabric."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.messages import (
+    EVENT_BYTES,
+    HEADER_BYTES,
+    SUBID_BYTES,
+    Message,
+    event_message_bytes,
+)
+from repro.sim.network import Network, SimNode
+from repro.sim.topology import ConstantTopology
+
+
+class Recorder(SimNode):
+    """Test node that logs everything it receives."""
+
+    def __init__(self, addr, network):
+        super().__init__(addr, network)
+        self.received = []
+        self.is_alive = True
+
+    def handle_message(self, msg):
+        self.received.append((self.sim.now, msg))
+
+    def alive(self):
+        return self.is_alive
+
+
+def make_net(n=4, rtt=100.0):
+    sim = Simulator()
+    net = Network(sim, ConstantTopology(n, rtt=rtt))
+    nodes = [Recorder(i, net) for i in range(n)]
+    return sim, net, nodes
+
+
+def test_message_arrives_after_one_way_latency():
+    sim, net, nodes = make_net(rtt=100.0)
+    net.send(Message(src=0, dst=1, kind="t", payload=None, size_bytes=30))
+    sim.run()
+    (t, msg), = nodes[1].received
+    assert t == 50.0  # one-way = RTT / 2
+    assert msg.hops == 1
+    assert msg.path_latency == 50.0
+
+
+def test_bandwidth_accounting():
+    sim, net, nodes = make_net()
+    net.send(Message(src=0, dst=1, kind="a", payload=None, size_bytes=30))
+    net.send(Message(src=0, dst=2, kind="b", payload=None, size_bytes=70))
+    sim.run()
+    assert net.stats.out_bytes[0] == 100
+    assert net.stats.in_bytes[1] == 30
+    assert net.stats.in_bytes[2] == 70
+    assert net.stats.bytes_by_kind == {"a": 30, "b": 70}
+    assert net.stats.total_bytes == 100
+    assert net.stats.total_msgs == 2
+
+
+def test_local_messages_are_free_and_instant():
+    sim, net, nodes = make_net()
+    net.send(Message(src=2, dst=2, kind="l", payload=None, size_bytes=999))
+    sim.run()
+    (t, msg), = nodes[2].received
+    assert t == 0.0
+    assert msg.hops == 0  # local delivery adds no hop
+    assert net.stats.total_bytes == 0
+
+
+def test_delivery_to_dead_node_is_dropped():
+    sim, net, nodes = make_net()
+    nodes[1].is_alive = False
+    net.send(Message(src=0, dst=1, kind="t", payload=None, size_bytes=10))
+    sim.run()
+    assert nodes[1].received == []
+    assert net.dropped == 1
+
+
+def test_send_to_unregistered_addr_is_dropped():
+    sim = Simulator()
+    net = Network(sim, ConstantTopology(4))
+    Recorder(0, net)
+    net.send(Message(src=0, dst=3, kind="t", payload=None, size_bytes=10))
+    sim.run()
+    assert net.dropped == 1
+
+
+def test_duplicate_registration_rejected():
+    sim, net, nodes = make_net()
+    with pytest.raises(ValueError):
+        Recorder(0, net)
+
+
+def test_addr_outside_topology_rejected():
+    sim = Simulator()
+    net = Network(sim, ConstantTopology(2))
+    with pytest.raises(ValueError):
+        Recorder(5, net)
+
+
+def test_node_send_checks_src():
+    sim, net, nodes = make_net()
+    with pytest.raises(ValueError):
+        nodes[0].send(Message(src=1, dst=2, kind="t", payload=None, size_bytes=1))
+
+
+def test_child_message_inherits_path_metadata():
+    sim, net, nodes = make_net(rtt=100.0)
+
+    class Forwarder(SimNode):
+        def handle_message(self, msg):
+            self.send(msg.child(self.addr, 3, "fwd", None, 10))
+
+    sim2 = Simulator()
+    net2 = Network(sim2, ConstantTopology(4, rtt=100.0))
+    Recorder(0, net2)
+    fwd = Forwarder(1, net2)
+    Recorder(2, net2)
+    sink = Recorder(3, net2)
+    net2.send(Message(src=0, dst=1, kind="t", payload=None, size_bytes=10))
+    sim2.run()
+    (t, msg), = sink.received
+    assert msg.hops == 2
+    assert msg.path_latency == 100.0
+    assert t == 100.0
+
+
+def test_event_message_bytes_model():
+    assert event_message_bytes(0) == HEADER_BYTES + EVENT_BYTES
+    assert event_message_bytes(5) == HEADER_BYTES + EVENT_BYTES + 5 * SUBID_BYTES
+    with pytest.raises(ValueError):
+        event_message_bytes(-1)
+
+
+def test_stats_reset():
+    sim, net, nodes = make_net()
+    net.send(Message(src=0, dst=1, kind="t", payload=None, size_bytes=30))
+    sim.run()
+    net.stats.reset()
+    assert net.stats.total_bytes == 0
+    assert net.stats.bytes_by_kind == {}

@@ -1,0 +1,78 @@
+"""Tests for counters and distribution summaries."""
+
+import numpy as np
+import pytest
+
+from repro.sim.stats import Counter, Distribution, NetworkStats, rank_desc
+
+
+class TestCounter:
+    def test_add_and_mean(self):
+        c = Counter("x")
+        c.add(2.0)
+        c.add(4.0)
+        assert c.count == 2
+        assert c.total == 6.0
+        assert c.mean == 3.0
+
+    def test_empty_mean_is_zero(self):
+        assert Counter("x").mean == 0.0
+
+
+class TestNetworkStats:
+    def test_record_send_updates_both_sides(self):
+        s = NetworkStats(3)
+        s.record_send(0, 2, "k", 50)
+        assert s.out_bytes[0] == 50
+        assert s.in_bytes[2] == 50
+        assert s.out_msgs[0] == 1
+        assert s.in_msgs[2] == 1
+        assert s.msgs_by_kind["k"] == 1
+
+
+class TestDistribution:
+    def test_summary_fields(self):
+        d = Distribution.from_values([1, 2, 3, 4, 5])
+        assert d.n == 5
+        assert d.mean == 3.0
+        assert d.min == 1.0
+        assert d.max == 5.0
+        assert d.percentile(50) == 3.0
+
+    def test_values_are_sorted(self):
+        d = Distribution.from_values([5, 1, 3])
+        assert list(d.values) == [1.0, 3.0, 5.0]
+
+    def test_cdf_monotone_and_ends_at_one(self):
+        d = Distribution.from_values(np.random.default_rng(0).uniform(0, 10, 500))
+        xs, fs = d.cdf(50)
+        assert len(xs) == 50
+        assert np.all(np.diff(fs) >= 0)
+        assert fs[-1] == 1.0
+
+    def test_cdf_is_correct_ecdf(self):
+        d = Distribution.from_values([1, 1, 2, 4])
+        xs, fs = d.cdf(4)
+        # at x=1: 2/4 of mass; at x=4: all of it.
+        assert fs[0] == pytest.approx(0.5)
+        assert fs[-1] == 1.0
+
+    def test_empty_distribution(self):
+        d = Distribution.from_values([])
+        assert d.n == 0
+        assert d.mean == 0.0
+        xs, fs = d.cdf()
+        assert len(xs) == 0
+
+    def test_summary_dict(self):
+        d = Distribution.from_values(range(101))
+        s = d.summary()
+        assert s["n"] == 101
+        assert s["p50"] == 50
+        assert s["max"] == 100
+
+
+def test_rank_desc():
+    assert rank_desc([3, 1, 2]) == [3.0, 2.0, 1.0]
+    assert rank_desc([3, 1, 2], top=2) == [3.0, 2.0]
+    assert rank_desc([]) == []

@@ -1,0 +1,171 @@
+"""Tests for the latency models, including King-like calibration."""
+
+import numpy as np
+import pytest
+
+from repro.sim.topology import (
+    ConstantTopology,
+    ExplicitTopology,
+    KingLikeTopology,
+    _pair_jitter,
+    _pair_jitter_vec,
+    build_topology,
+)
+
+
+class TestConstantTopology:
+    def test_rtt_is_constant_off_diagonal(self):
+        topo = ConstantTopology(5, rtt=42.0)
+        assert topo.rtt_ms(0, 1) == 42.0
+        assert topo.rtt_ms(4, 2) == 42.0
+
+    def test_self_rtt_zero(self):
+        topo = ConstantTopology(5, rtt=42.0)
+        assert topo.rtt_ms(3, 3) == 0.0
+
+    def test_latency_is_half_rtt(self):
+        topo = ConstantTopology(5, rtt=42.0)
+        assert topo.latency_ms(0, 1) == 21.0
+
+    def test_out_of_range_rejected(self):
+        topo = ConstantTopology(3)
+        with pytest.raises(IndexError):
+            topo.rtt_ms(0, 3)
+
+    def test_rtt_many(self):
+        topo = ConstantTopology(4, rtt=10.0)
+        out = topo.rtt_many(1, [0, 1, 2, 3])
+        assert list(out) == [10.0, 0.0, 10.0, 10.0]
+
+
+class TestExplicitTopology:
+    def test_round_trip_values(self):
+        m = np.array([[0.0, 5.0], [5.0, 0.0]])
+        topo = ExplicitTopology(m)
+        assert topo.rtt_ms(0, 1) == 5.0
+        assert topo.size == 2
+
+    def test_asymmetric_rejected(self):
+        m = np.array([[0.0, 5.0], [6.0, 0.0]])
+        with pytest.raises(ValueError):
+            ExplicitTopology(m)
+
+    def test_nonzero_diagonal_rejected(self):
+        m = np.array([[1.0, 5.0], [5.0, 0.0]])
+        with pytest.raises(ValueError):
+            ExplicitTopology(m)
+
+    def test_negative_rejected(self):
+        m = np.array([[0.0, -5.0], [-5.0, 0.0]])
+        with pytest.raises(ValueError):
+            ExplicitTopology(m)
+
+    def test_rtt_many_matches_scalar(self):
+        rng = np.random.default_rng(0)
+        half = rng.uniform(1, 100, size=(6, 6))
+        m = np.triu(half, 1)
+        m = m + m.T
+        topo = ExplicitTopology(m)
+        vec = topo.rtt_many(2, [0, 3, 5])
+        assert vec == pytest.approx([m[2, 0], m[2, 3], m[2, 5]])
+
+
+class TestKingLikeTopology:
+    def test_mean_rtt_calibrated_to_target(self):
+        topo = KingLikeTopology(500, seed=11, target_mean_rtt_ms=180.0)
+        assert topo.mean_rtt(20_000) == pytest.approx(180.0, rel=0.08)
+
+    def test_alternate_target(self):
+        topo = KingLikeTopology(300, seed=11, target_mean_rtt_ms=80.0)
+        assert topo.mean_rtt(20_000) == pytest.approx(80.0, rel=0.08)
+
+    def test_symmetry(self):
+        topo = KingLikeTopology(100, seed=5)
+        for a, b in [(0, 1), (10, 90), (42, 17)]:
+            assert topo.rtt_ms(a, b) == pytest.approx(topo.rtt_ms(b, a))
+
+    def test_self_rtt_zero(self):
+        topo = KingLikeTopology(50, seed=5)
+        assert topo.rtt_ms(7, 7) == 0.0
+
+    def test_deterministic_in_seed(self):
+        a = KingLikeTopology(100, seed=9)
+        b = KingLikeTopology(100, seed=9)
+        assert a.rtt_ms(3, 77) == b.rtt_ms(3, 77)
+
+    def test_different_seeds_differ(self):
+        a = KingLikeTopology(100, seed=9)
+        b = KingLikeTopology(100, seed=10)
+        assert a.rtt_ms(3, 77) != b.rtt_ms(3, 77)
+
+    def test_rtt_positive_for_distinct_pairs(self):
+        topo = KingLikeTopology(200, seed=2)
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            a, b = rng.integers(0, 200, size=2)
+            if a != b:
+                assert topo.rtt_ms(int(a), int(b)) > 0
+
+    def test_rtt_many_matches_scalar(self):
+        topo = KingLikeTopology(120, seed=4)
+        others = list(range(0, 120, 7))
+        vec = topo.rtt_many(13, others)
+        scalars = [topo.rtt_ms(13, b) for b in others]
+        assert vec == pytest.approx(scalars)
+
+    def test_clustering_means_neighbors_are_closer(self):
+        """Within-cluster RTTs must be far smaller than the global mean,
+        otherwise PNS would have nothing to exploit."""
+        topo = KingLikeTopology(1000, seed=6)
+        same, diff = [], []
+        for a in range(0, 1000, 11):
+            for b in range(1, 1000, 13):
+                if a == b:
+                    continue
+                (same if topo.cluster_of[a] == topo.cluster_of[b] else diff).append(
+                    topo.rtt_ms(a, b)
+                )
+        assert np.mean(same) < 0.4 * np.mean(diff)
+
+    def test_single_node_topology(self):
+        topo = KingLikeTopology(1, seed=1)
+        assert topo.size == 1
+        assert topo.rtt_ms(0, 0) == 0.0
+        assert topo.mean_rtt() == 0.0
+
+
+class TestJitter:
+    def test_scalar_symmetric(self):
+        assert _pair_jitter(3, 9, 0.2) == _pair_jitter(9, 3, 0.2)
+
+    def test_scalar_within_band(self):
+        for a in range(20):
+            for b in range(20):
+                j = _pair_jitter(a, b, 0.15)
+                assert 0.85 <= j <= 1.15
+
+    def test_vector_matches_scalar(self):
+        idx = np.arange(0, 500, 3)
+        vec = _pair_jitter_vec(42, idx, 0.15)
+        scalars = [_pair_jitter(42, int(b), 0.15) for b in idx]
+        assert vec == pytest.approx(scalars)
+
+    def test_jitter_varies_across_pairs(self):
+        vals = {_pair_jitter(0, b, 0.15) for b in range(1, 50)}
+        assert len(vals) > 40
+
+
+class TestBuildTopology:
+    def test_king_factory(self):
+        topo = build_topology(50, kind="king", seed=1)
+        assert isinstance(topo, KingLikeTopology)
+        assert topo.size == 50
+
+    def test_constant_factory(self):
+        topo = build_topology(10, kind="constant", target_mean_rtt_ms=66.0)
+        assert isinstance(topo, ConstantTopology)
+        assert topo.rtt_ms(0, 1) == 66.0
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            build_topology(10, kind="torus")

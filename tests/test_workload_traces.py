@@ -1,0 +1,135 @@
+"""Tests for trace-file recording and replay."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Attribute,
+    Event,
+    HyperSubConfig,
+    HyperSubSystem,
+    Scheme,
+    Subscription,
+)
+from repro.workloads.tracefile import (
+    TraceError,
+    load_trace,
+    replay_trace,
+    save_trace,
+)
+
+
+@pytest.fixture
+def scheme():
+    return Scheme("t", [Attribute("x", 0, 100), Attribute("y", 0, 100)])
+
+
+def write(tmp_path, text):
+    p = tmp_path / "trace.jsonl"
+    p.write_text(text, encoding="utf-8")
+    return p
+
+
+class TestLoad:
+    def test_roundtrip_via_save(self, tmp_path, scheme):
+        subs = [
+            (0, Subscription.from_box(scheme, [1, 2], [3, 4])),
+            (5, Subscription.from_box(scheme, [10, 20], [30, 40])),
+        ]
+        events = [(100.0, 2, Event(scheme, [2, 3])), (50.0, 1, Event(scheme, [15, 25]))]
+        p = tmp_path / "out.jsonl"
+        n = save_trace(p, scheme, subs, events)
+        assert n == 1 + 2 + 2  # header + subs + events
+        records = load_trace(p, scheme)
+        assert [r["op"] for r in records] == ["sub", "sub", "pub", "pub"]
+        # Events come back time-sorted.
+        assert records[2]["time_ms"] == 50.0
+        assert records[2]["obj"] == Event(scheme, [15, 25])
+        assert records[0]["obj"].lows[0] == 1.0
+
+    def test_comments_and_blank_lines_skipped(self, tmp_path, scheme):
+        p = write(
+            tmp_path,
+            "# a comment\n\n"
+            '{"op": "sub", "addr": 1, "lows": [0, 0], "highs": [1, 1]}\n',
+        )
+        assert len(load_trace(p, scheme)) == 1
+
+    def test_invalid_json_reports_line(self, tmp_path, scheme):
+        p = write(tmp_path, "not json\n")
+        with pytest.raises(TraceError, match="line 1"):
+            load_trace(p, scheme)
+
+    def test_unknown_op(self, tmp_path, scheme):
+        p = write(tmp_path, '{"op": "frobnicate"}\n')
+        with pytest.raises(TraceError, match="unknown op"):
+            load_trace(p, scheme)
+
+    def test_bad_subscription_box(self, tmp_path, scheme):
+        p = write(tmp_path, '{"op": "sub", "addr": 0, "lows": [5, 5], "highs": [1, 1]}\n')
+        with pytest.raises(TraceError, match="bad subscription"):
+            load_trace(p, scheme)
+
+    def test_event_outside_domain(self, tmp_path, scheme):
+        p = write(tmp_path, '{"op": "pub", "addr": 0, "values": [500, 0]}\n')
+        with pytest.raises(TraceError, match="bad event"):
+            load_trace(p, scheme)
+
+    def test_unsub_must_reference_prior_sub(self, tmp_path, scheme):
+        p = write(tmp_path, '{"op": "unsub", "addr": 0, "ref": 0}\n')
+        with pytest.raises(TraceError, match="does not name a prior sub"):
+            load_trace(p, scheme)
+
+
+class TestReplay:
+    def test_replay_drives_system_exactly(self, tmp_path, scheme):
+        system = HyperSubSystem(
+            num_nodes=20, config=HyperSubConfig(seed=3, code_bits=10)
+        )
+        system.add_scheme(scheme)
+        trace = "\n".join(
+            [
+                '{"op": "sub", "addr": 2, "lows": [10, 10], "highs": [20, 20]}',
+                '{"op": "sub", "addr": 7, "lows": [0, 0], "highs": [50, 50]}',
+                '{"op": "unsub", "addr": 2, "ref": 0}',
+                '{"op": "pub", "addr": 4, "time_ms": 100.0, "values": [15, 15]}',
+                '{"op": "pub", "addr": 5, "time_ms": 200.0, "values": [90, 90]}',
+            ]
+        )
+        p = write(tmp_path, trace)
+        summary = replay_trace(p, system, scheme)
+        system.run_until_idle()
+        assert summary["counts"] == {"sub": 2, "pub": 2, "unsub": 1}
+        recs = sorted(
+            system.metrics.records.values(), key=lambda r: r.publish_time
+        )
+        # First event matches only the surviving (addr 7) subscription.
+        assert recs[0].matched == 1
+        assert recs[1].matched == 0
+
+    def test_generator_stream_can_be_frozen_and_replayed(self, tmp_path):
+        """A synthetic workload saved to a trace replays identically."""
+        from repro.workloads import WorkloadGenerator, default_paper_spec
+
+        spec = default_paper_spec(subs_per_node=2)
+        gen = WorkloadGenerator(spec, seed=11)
+        scheme = gen.scheme
+        rng = np.random.default_rng(0)
+        subs = [(int(rng.integers(0, 20)), gen.subscription()) for _ in range(40)]
+        events = [
+            (float(i * 100), int(rng.integers(0, 20)), gen.event())
+            for i in range(30)
+        ]
+        p = tmp_path / "frozen.jsonl"
+        save_trace(p, scheme, subs, events)
+
+        def run():
+            system = HyperSubSystem(
+                num_nodes=20, config=HyperSubConfig(seed=3)
+            )
+            system.add_scheme(scheme)
+            replay_trace(p, system, scheme)
+            system.run_until_idle()
+            return sorted(r.matched for r in system.metrics.records.values())
+
+        assert run() == run()

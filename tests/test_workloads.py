@@ -1,0 +1,158 @@
+"""Tests for Zipf sampling and the Table-1 workload generator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import HyperSubConfig, HyperSubSystem
+from repro.workloads import (
+    WorkloadGenerator,
+    ZipfSampler,
+    default_paper_spec,
+    zipf_cdf,
+)
+from repro.workloads.spec import AttributeSpec, WorkloadSpec
+
+
+class TestZipf:
+    def test_cdf_endpoints(self):
+        cdf = zipf_cdf(10, 0.95)
+        assert cdf[-1] == pytest.approx(1.0)
+        assert cdf[0] == pytest.approx((1.0) / np.sum(1.0 / np.arange(1, 11) ** 0.95))
+
+    def test_cdf_monotone(self):
+        cdf = zipf_cdf(100, 1.5)
+        assert np.all(np.diff(cdf) > 0)
+
+    def test_zero_skew_is_uniform(self):
+        cdf = zipf_cdf(4, 0.0)
+        assert list(cdf) == pytest.approx([0.25, 0.5, 0.75, 1.0])
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            zipf_cdf(0, 1.0)
+        with pytest.raises(ValueError):
+            zipf_cdf(5, -1.0)
+
+    def test_sampler_rank_range(self):
+        s = ZipfSampler(50, 1.2, np.random.default_rng(0))
+        ranks = s.sample(5000)
+        assert ranks.min() >= 1 and ranks.max() <= 50
+
+    def test_sampler_scalar(self):
+        s = ZipfSampler(50, 1.2, np.random.default_rng(0))
+        assert isinstance(s.sample(), int)
+
+    def test_skew_concentrates_mass(self):
+        rng = np.random.default_rng(1)
+        skewed = ZipfSampler(100, 1.5, rng).sample(20_000)
+        flat = ZipfSampler(100, 0.1, np.random.default_rng(1)).sample(20_000)
+        assert np.mean(skewed == 1) > 3 * np.mean(flat == 1)
+
+    def test_empirical_matches_cdf(self):
+        """Sampled rank frequencies track the analytic Zipf CDF."""
+        n, s = 20, 1.0
+        sampler = ZipfSampler(n, s, np.random.default_rng(2))
+        ranks = sampler.sample(50_000)
+        emp = np.array([(ranks <= k).mean() for k in range(1, n + 1)])
+        assert np.allclose(emp, zipf_cdf(n, s), atol=0.01)
+
+    def test_unit_sample_range(self):
+        s = ZipfSampler(64, 1.0, np.random.default_rng(3))
+        u = s.unit_sample(1000)
+        assert u.min() >= 0.0 and u.max() < 1.0
+
+
+class TestSpec:
+    def test_default_paper_spec_shape(self):
+        spec = default_paper_spec()
+        assert spec.dimensions == 4
+        assert spec.subs_per_node == 10
+        assert spec.num_events == 20_000
+        assert spec.mean_interarrival_ms == 100.0
+
+    def test_scheme_construction(self):
+        scheme = default_paper_spec().build_scheme()
+        assert scheme.dimensions == 4
+        assert scheme.attributes[0].low == 0.0
+        assert scheme.attributes[0].high == 10_000.0
+
+    def test_attribute_spec_validation(self):
+        with pytest.raises(ValueError):
+            AttributeSpec("x", min=5, max=5)
+        with pytest.raises(ValueError):
+            AttributeSpec("x", data_hotspot=1.5)
+        with pytest.raises(ValueError):
+            AttributeSpec("x", max_range_frac=0.0)
+
+    def test_workload_spec_validation(self):
+        attrs = [AttributeSpec("x")]
+        with pytest.raises(ValueError):
+            WorkloadSpec(attributes=[])
+        with pytest.raises(ValueError):
+            WorkloadSpec(attributes=attrs, mean_interarrival_ms=0)
+
+
+class TestGenerator:
+    def test_deterministic_in_seed(self):
+        spec = default_paper_spec()
+        a = WorkloadGenerator(spec, seed=5)
+        b = WorkloadGenerator(spec, seed=5)
+        for _ in range(20):
+            assert a.event() == b.event()
+            assert a.subscription() == b.subscription()
+
+    def test_events_inside_domain(self):
+        gen = WorkloadGenerator(default_paper_spec(), seed=1)
+        for _ in range(200):
+            ev = gen.event()
+            assert np.all(ev.point >= 0) and np.all(ev.point <= 10_000)
+
+    def test_subscriptions_inside_domain_with_bounded_ranges(self):
+        spec = default_paper_spec()
+        gen = WorkloadGenerator(spec, seed=1)
+        for _ in range(200):
+            sub = gen.subscription()
+            assert np.all(sub.lows >= 0) and np.all(sub.highs <= 10_000)
+            widths = sub.highs - sub.lows
+            for w, a in zip(widths, spec.attributes):
+                assert w <= a.max_range_frac * a.span + 1e-9
+
+    def test_event_values_concentrate_at_hotspots(self):
+        spec = default_paper_spec()
+        gen = WorkloadGenerator(spec, seed=2)
+        pts = np.array([gen.event().point for _ in range(3000)])
+        for d, a in enumerate(spec.attributes):
+            hotspot = a.min + a.data_hotspot * a.span
+            near = np.abs(pts[:, d] - hotspot) < 0.05 * a.span
+            # Uniform would give ~10 %; the Zipf hotspot gives far more.
+            assert near.mean() > 0.3, f"dim {d}: only {near.mean():.2f} near hotspot"
+
+    def test_populate_installs_subs_per_node(self):
+        spec = default_paper_spec(subs_per_node=3)
+        gen = WorkloadGenerator(spec, seed=3)
+        cfg = HyperSubConfig(seed=1, code_bits=12, direct_rendezvous_levels=4)
+        system = HyperSubSystem(num_nodes=20, config=cfg)
+        system.add_scheme(gen.scheme)
+        installed = gen.populate(system)
+        assert len(installed) == 60
+        assert system.metrics.total_subscriptions == 60
+
+    def test_schedule_events_poisson(self):
+        spec = default_paper_spec(subs_per_node=1)
+        gen = WorkloadGenerator(spec, seed=4)
+        cfg = HyperSubConfig(seed=1, code_bits=12, direct_rendezvous_levels=4)
+        system = HyperSubSystem(num_nodes=10, config=cfg)
+        system.add_scheme(gen.scheme)
+        gen.populate(system)
+        system.finish_setup()
+        n = gen.schedule_events(system, count=50)
+        assert n == 50
+        system.run_until_idle()
+        recs = list(system.metrics.records.values())
+        assert len(recs) == 50
+        times = sorted(r.publish_time for r in recs)
+        gaps = np.diff(times)
+        # Exponential(100 ms): mean in a sane band.
+        assert 40 < np.mean(gaps) < 250
