@@ -35,13 +35,16 @@ EXPERIMENTS = {
     "reliability": (
         "repro.experiments.reliability", "R1: delivery under message loss"
     ),
+    "recovery": (
+        "repro.experiments.recovery", "R2: self-healing recovery timeline"
+    ),
 }
 
 #: everything `all` runs (table1 has no driver; fig2-4 share cached runs)
 RUN_ORDER = [
     "fig2", "fig3", "fig4", "table2", "fig5",
     "baselines", "ablation", "churn", "piggyback", "dynamic", "install",
-    "heterogeneous", "reliability",
+    "heterogeneous", "reliability", "recovery",
 ]
 
 
@@ -61,8 +64,15 @@ def main(argv=None) -> int:
         default=None,
         help="overrides REPRO_SCALE for this invocation",
     )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="shorthand for --scale quick (CI smoke runs)",
+    )
     args = parser.parse_args(argv)
 
+    if args.quick and not args.scale:
+        args.scale = "quick"
     if args.scale:
         os.environ["REPRO_SCALE"] = args.scale
 

@@ -31,10 +31,15 @@ def render_dissemination_tree(record, max_depth: int = 32) -> str:
     for _subid, addr, _hops, _lat in record.deliveries:
         delivered_at[addr] = delivered_at.get(addr, 0) + 1
 
+    gave_up = (
+        f", {record.gave_up_subids} subids abandoned"
+        if getattr(record, "gave_up_subids", 0)
+        else ""
+    )
     lines: List[str] = [
         f"event {record.event_id} from node {record.publisher_addr} "
         f"({record.matched} deliveries, {record.messages} messages, "
-        f"{record.bytes:.0f} bytes)"
+        f"{record.bytes:.0f} bytes{gave_up})"
     ]
     seen: Set[int] = set()
 
@@ -65,6 +70,30 @@ def render_dissemination_tree(record, max_depth: int = 32) -> str:
     for i, (dst, n) in enumerate(kids):
         visit(dst, n, "", i == len(kids) - 1, 1)
     return "\n".join(lines)
+
+
+def transport_summary(stats) -> Dict[str, int]:
+    """Reliable-transport health counters of one run.
+
+    ``stats`` is a :class:`~repro.sim.stats.NetworkStats`.  Before these
+    counters existed, a hop that exhausted its retries vanished without
+    trace; now every retransmission and every abandoned packet (and the
+    SubIDs it carried) is accounted.
+    """
+    return {
+        "retransmissions": stats.retransmissions,
+        "gave_up_packets": stats.gave_up,
+        "gave_up_subids": stats.gave_up_subids,
+    }
+
+
+def render_transport_summary(stats) -> str:
+    s = transport_summary(stats)
+    return (
+        f"transport: {s['retransmissions']} retransmissions, "
+        f"{s['gave_up_packets']} packets abandoned "
+        f"({s['gave_up_subids']} subids at risk)"
+    )
 
 
 def tree_stats(record) -> Dict[str, float]:

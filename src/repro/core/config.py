@@ -73,6 +73,36 @@ class HyperSubConfig:
     #: Retransmissions per packet before giving up on the hop.
     max_retries: int = 3
 
+    # -- self-healing (extension) ----------------------------------------
+    #: Hop-failover rerouting: when a reliable event packet exhausts its
+    #: retries, the dead next hop is evicted from the local routing
+    #: tables and the packet's SubIDs are re-grouped and re-forwarded
+    #: via an alternate finger/successor (after ``failover_backoff_ms``,
+    #: giving ring maintenance a beat to converge) instead of being
+    #: silently dropped.  Requires ``reliable_delivery``.
+    hop_failover: bool = False
+    #: Delay before a failover reroute is attempted (ms).
+    failover_backoff_ms: float = 2_000.0
+    #: Reroute attempts per packet lineage before giving up for good
+    #: (counted in ``NetworkStats.gave_up``).
+    failover_max_attempts: int = 3
+    #: Hard per-packet hop ceiling.  Transient routing loops are possible
+    #: while the ring heals around a crash (A routes to B's stale
+    #: successor entry, which routes back); the TTL converts them into
+    #: counted drops.  Stable-ring paths are O(log n), so 64 is far above
+    #: any legitimate route.
+    event_ttl_hops: int = 64
+    #: Periodic anti-entropy re-replication: every
+    #: ``anti_entropy_interval_ms`` each node (a) promotes standby
+    #: replicas whose keys it has become responsible for (successor
+    #: takeover) to live repositories, and (b) exchanges digests with
+    #: its current successor list, shipping only the missing entries, so
+    #: ``replication_factor`` standby copies are restored after churn.
+    #: Requires ``replication_factor > 1``.
+    anti_entropy: bool = False
+    #: Anti-entropy round period (simulated ms).
+    anti_entropy_interval_ms: float = 5_000.0
+
     # -- piggybacked maintenance (extension; paper Section 6) ------------
     #: Attach the sender's ring state (own id, predecessor, first
     #: successor) to every event-delivery packet.  Receivers absorb it
@@ -130,6 +160,18 @@ class HyperSubConfig:
             raise ValueError("retransmit_timeout_ms must be positive")
         if self.max_retries < 0:
             raise ValueError("max_retries must be non-negative")
+        if self.hop_failover and not self.reliable_delivery:
+            raise ValueError("hop_failover requires reliable_delivery")
+        if self.failover_backoff_ms <= 0:
+            raise ValueError("failover_backoff_ms must be positive")
+        if self.failover_max_attempts < 1:
+            raise ValueError("failover_max_attempts must be >= 1")
+        if self.event_ttl_hops < 1:
+            raise ValueError("event_ttl_hops must be >= 1")
+        if self.anti_entropy and self.replication_factor < 2:
+            raise ValueError("anti_entropy requires replication_factor > 1")
+        if self.anti_entropy_interval_ms <= 0:
+            raise ValueError("anti_entropy_interval_ms must be positive")
         # Validates base/code_bits compatibility eagerly.
         self.geometry  # noqa: B018
 

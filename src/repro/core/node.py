@@ -35,6 +35,7 @@ from repro.dht.chord import ChordNode
 from repro.dht.idspace import id_in_interval
 from repro.dht.pastry import PastryNode
 from repro.sim.messages import (
+    AE_DIGEST_ENTRY_BYTES,
     CONTROL_BYTES,
     PIGGYBACK_BYTES,
     SUBID_BYTES,
@@ -48,6 +49,20 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 #: Wire size of one subscription box (two float64 bounds per dimension).
 def subscription_wire_bytes(dims: int) -> int:
     return SUBID_BYTES + 16 * dims
+
+
+def _store_checksum(store: BoxStore) -> int:
+    """Order-independent fingerprint of a store's SubID set.
+
+    XOR of per-id hashes: cheap, incremental-friendly, and two stores
+    with equal counts and checksums are treated as identical by the
+    anti-entropy digest exchange (collision odds are negligible for
+    repair purposes, and a miss only costs one redundant diff round).
+    """
+    acc = 0
+    for sid in store.subids():
+        acc ^= hash((sid.nid, sid.iid)) & 0xFFFFFFFFFFFFFFFF
+    return acc
 
 
 class ZoneRepo:
@@ -119,7 +134,13 @@ class PubSubNodeMixin:
         #: reliable-transport state: outstanding event packets by seq
         self._rel_pending: Dict[int, dict] = {}
         self._rel_seq = 0
-        #: (sender addr, seq) pairs already processed (dedup on ack loss)
+        #: transport incarnation.  Sequence numbers restart at 0 after a
+        #: crash-rejoin; without an epoch in the dedup key, peers that
+        #: heard rseq 1..j from the PREVIOUS incarnation would silently
+        #: discard (while still acking!) the new incarnation's first j
+        #: packets as duplicates.  ``HyperSubSystem.rejoin_node`` bumps it.
+        self._rel_epoch = 0
+        #: (sender addr, epoch, seq) already processed (dedup on ack loss)
         self._rel_seen: set = set()
         #: relative node capacity (Section 4: "the value of the
         #: threshold factor delta for each node is based on the node's
@@ -127,9 +148,15 @@ class PubSubNodeMixin:
         #: heterogeneous evaluation it defers is experiment H1).
         self.capacity: float = 1.0
 
+        #: anti-entropy re-replication loop state (self-healing extension)
+        self._ae_running = False
+
         self.register_handler("ps_register", self._on_ps_register)
         self.register_handler("ps_replica", self._on_ps_replica)
         self.register_handler("ps_handoff", self._on_ps_handoff)
+        self.register_handler("ps_ae_digest", self._on_ae_digest)
+        self.register_handler("ps_ae_state", self._on_ae_state)
+        self.register_handler("ps_ae_fill", self._on_ae_fill)
         # Arc handoff on membership change (Chord only): when a joiner
         # slides in as our new predecessor, the rendezvous repos whose
         # keys now fall in its arc must move to it.
@@ -426,8 +453,214 @@ class PubSubNodeMixin:
 
     def register_standby_marker(
         self, origin_nid: int, iid: int, repo_key: Tuple[str, int, int]
-    ) -> None:  # pragma: no cover - exercised via replication of markers
+    ) -> None:
         self.standby_markers[(origin_nid, iid)] = repo_key
+
+    # ------------------------------------------------------------------
+    # Anti-entropy re-replication (self-healing extension)
+    # ------------------------------------------------------------------
+    def start_anti_entropy(self) -> None:
+        """Begin periodic repair rounds (idempotent).
+
+        Each round (a) promotes standby replicas whose rendezvous keys
+        this node has become responsible for -- successor takeover after
+        a crash -- into live repositories, and (b) reconciles every live
+        repository with the *current* successor list by digest exchange,
+        shipping only missing entries, so ``replication_factor`` copies
+        are restored after churn reshuffles the ring.
+        """
+        if self._ae_running:
+            return
+        self._ae_running = True
+        self.sim.schedule(
+            self.system.config.anti_entropy_interval_ms, self._ae_tick
+        )
+
+    def stop_anti_entropy(self) -> None:
+        self._ae_running = False
+
+    def _ae_tick(self) -> None:
+        if not self._ae_running or not self._alive:
+            return
+        self.promote_takeovers()
+        self._ae_exchange()
+        self.sim.schedule(
+            self.system.config.anti_entropy_interval_ms, self._ae_tick
+        )
+
+    def promote_takeovers(self) -> None:
+        """Turn standby replicas we now answer for into live repositories.
+
+        A standby only *serves matches* while events route to us; it
+        neither cascades nor re-replicates.  Once we are durably
+        responsible for its key (the primary crashed and the arc is
+        ours), promoting it restores the full surrogate role -- and the
+        next digest exchange re-replicates it onto our own successors,
+        closing the repair loop.  Promotion also makes rejoin resync
+        work: the arc handoff to a re-joining predecessor only ships
+        *live* repositories.
+        """
+        direct = self.system.config.direct_rendezvous_levels
+        for key in list(self.standby_rendezvous):
+            if not self.is_responsible(key):
+                continue
+            for repo_key in self.standby_rendezvous.pop(key):
+                repo = self.standby_repos.pop(repo_key, None)
+                if repo is None or repo_key in self.zone_repos:
+                    continue
+                self.zone_repos[repo_key] = repo
+                self.rendezvous_index.setdefault(key, []).append(repo_key)
+                if repo.zone.level < direct:
+                    self.system.mark_shallow_occupied(repo_key)
+
+    def _ae_exchange(self) -> None:
+        """Send one digest of every live repository to each standby peer."""
+        k = self.system.config.replication_factor
+        replicas = getattr(self, "successors", [])[: k - 1]
+        if not replicas or not self.zone_repos:
+            return
+        digest = [
+            [list(repo_key), len(repo.store), _store_checksum(repo.store)]
+            for repo_key, repo in self.zone_repos.items()
+        ]
+        markers = [
+            [iid, list(repo_key)] for iid, repo_key in self.marker_origin.items()
+        ]
+        size = (
+            CONTROL_BYTES
+            + AE_DIGEST_ENTRY_BYTES * len(digest)
+            + SUBID_BYTES * len(markers)
+        )
+        payload = {
+            "origin": self.addr,
+            "origin_id": self.node_id,
+            "repos": digest,
+            "markers": markers,
+        }
+        for _succ_id, succ_addr in replicas:
+            self.send(
+                Message(
+                    src=self.addr,
+                    dst=succ_addr,
+                    kind="ps_ae_digest",
+                    payload=payload,
+                    size_bytes=size,
+                )
+            )
+
+    def _on_ae_digest(self, msg: Message) -> None:
+        """Standby side: report which repositories diverge and how."""
+        p = msg.payload
+        for iid, repo_key in p["markers"]:
+            # Marker-id resolution must survive the primary's death even
+            # on successors that joined the list after marker creation.
+            self.register_standby_marker(p["origin_id"], iid, tuple(repo_key))
+        diverged: List[dict] = []
+        have_total = 0
+        for repo_key_list, count, checksum in p["repos"]:
+            repo_key = tuple(repo_key_list)
+            if repo_key in self.zone_repos:
+                # We serve this live (handoff/promotion raced the
+                # primary's digest): never overwrite live state.
+                continue
+            local = self.standby_repos.get(repo_key)
+            if (
+                local is not None
+                and len(local.store) == count
+                and _store_checksum(local.store) == checksum
+            ):
+                continue
+            have = (
+                []
+                if local is None
+                else [[s.nid, s.iid] for s in local.store.subids()]
+            )
+            diverged.append({"repo": list(repo_key), "have": have})
+            have_total += len(have)
+        if not diverged:
+            return
+        self.send(
+            Message(
+                src=self.addr,
+                dst=p["origin"],
+                kind="ps_ae_state",
+                payload={"origin": self.addr, "repos": diverged},
+                size_bytes=CONTROL_BYTES
+                + AE_DIGEST_ENTRY_BYTES * len(diverged)
+                + SUBID_BYTES * have_total,
+            )
+        )
+
+    def _on_ae_state(self, msg: Message) -> None:
+        """Primary side: ship only the diff (missing boxes, stale ids)."""
+        groups: List[dict] = []
+        payload_bytes = 0
+        for entry in msg.payload["repos"]:
+            repo_key = tuple(entry["repo"])
+            repo = self.zone_repos.get(repo_key)
+            if repo is None:
+                continue  # no longer ours (handed off meanwhile)
+            have = {(nid, iid) for nid, iid in entry["have"]}
+            fills = []
+            for sid in repo.store.subids():
+                if (sid.nid, sid.iid) in have:
+                    continue
+                lo, hi = repo.store.get_box(sid)
+                fills.append(
+                    (
+                        (sid.nid, sid.iid),
+                        lo.tolist(),
+                        hi.tolist(),
+                        repo.kinds.get(sid, "sub"),
+                    )
+                )
+            drop = [
+                [nid, iid]
+                for nid, iid in have
+                if SubID(nid, iid) not in repo.store
+            ]
+            if not fills and not drop:
+                continue
+            dims = self.system.entity(repo.entity_key).scheme.dimensions
+            groups.append(
+                {"repo": list(repo_key), "entries": fills, "drop": drop}
+            )
+            payload_bytes += len(fills) * subscription_wire_bytes(dims)
+            payload_bytes += len(drop) * SUBID_BYTES
+        if not groups:
+            return
+        self.send(
+            Message(
+                src=self.addr,
+                dst=msg.payload["origin"],
+                kind="ps_ae_fill",
+                payload={"groups": groups},
+                size_bytes=CONTROL_BYTES + payload_bytes,
+            )
+        )
+
+    def _on_ae_fill(self, msg: Message) -> None:
+        """Standby side: absorb the diff."""
+        for group in msg.payload["groups"]:
+            entity_key, code, level = group["repo"]
+            for (nid, iid), lows, highs, kind in group["entries"]:
+                self._store_replica(
+                    entity_key,
+                    code,
+                    level,
+                    SubID(nid, iid),
+                    np.asarray(lows, dtype=np.float64),
+                    np.asarray(highs, dtype=np.float64),
+                    kind,
+                )
+            repo = self.standby_repos.get((entity_key, code, level))
+            if repo is None:
+                continue
+            for nid, iid in group["drop"]:
+                sid = SubID(nid, iid)
+                if sid in repo.store:
+                    repo.store.remove(sid)
+                    repo.kinds.pop(sid, None)
 
     # ------------------------------------------------------------------
     # Graceful departure (membership extension)
@@ -480,26 +713,45 @@ class PubSubNodeMixin:
         surrogate subscriptions in child zones carry OUR node id, which
         remains a valid address; new registrations for those zones
         simply accumulate at the joiner under its own markers.
+
+        ``old_id is None`` is the crash-rejoin case: check-predecessor
+        evicted the dead node's pointer, and the rejoining node (same
+        identifier) is now notifying us.  The prior arc boundary is
+        unknown, so everything outside our *new* responsibility ships to
+        the predecessor -- which includes any repos promoted from
+        standby during the takeover window.  Marker mappings for the
+        moved repos travel along so the joiner can serve surrogate
+        subscriptions that still carry its node id (its own volatile
+        ``marker_origin`` died with it).
         """
-        if old_id is None or new_id is None or old_id == new_id:
+        if new_id is None or old_id == new_id:
             return
-        if not id_in_interval(new_id, old_id, self.node_id):
-            return  # arc grew (failure takeover), nothing to ship
-        moved_keys = [
-            k
-            for k in self.rendezvous_index
-            if id_in_interval(k, old_id, new_id, incl_right=True)
-        ]
+        if old_id is None:
+            moved_keys = [
+                k
+                for k in self.rendezvous_index
+                if not id_in_interval(k, new_id, self.node_id, incl_right=True)
+            ]
+        else:
+            if not id_in_interval(new_id, old_id, self.node_id):
+                return  # arc grew (failure takeover), nothing to ship
+            moved_keys = [
+                k
+                for k in self.rendezvous_index
+                if id_in_interval(k, old_id, new_id, incl_right=True)
+            ]
         if not moved_keys:
             return
         new_addr = self.predecessor[1]
         groups: List[dict] = []
         payload_bytes = 0
+        moved_repo_keys: set = set()
         for key in moved_keys:
             for repo_key in self.rendezvous_index[key]:
                 repo = self.zone_repos.pop(repo_key, None)
                 if repo is None:
                     continue
+                moved_repo_keys.add(repo_key)
                 entity = self.system.entity(repo.entity_key)
                 entries = []
                 for sid in list(repo.store.subids()):
@@ -517,15 +769,66 @@ class PubSubNodeMixin:
                     entity.scheme.dimensions
                 )
             del self.rendezvous_index[key]
-        if not groups:
+
+        # Crash-rejoin resync: the joiner's marker-served internal repos
+        # (levels >= the direct radius, reached only through surrogate
+        # subscriptions that carry its node id) are invisible to the
+        # rendezvous handoff above.  Our standby replicas -- which we
+        # kept serving during the takeover window via ``standby_markers``
+        # -- are the surviving copies; ship them as no-cascade snapshots,
+        # marker mappings included, so the joiner can answer its own
+        # surrogate subscriptions again.  For a fresh joiner (an id never
+        # seen before) there are no such markers and this adds nothing.
+        markers = []
+        snapshots: List[dict] = []
+        snapshotted: set = set()
+        for (nid, iid), repo_key in self.standby_markers.items():
+            if repo_key in moved_repo_keys or nid == new_id:
+                markers.append((nid, iid, list(repo_key)))
+            if nid != new_id:
+                continue
+            if repo_key in moved_repo_keys or repo_key in snapshotted:
+                continue
+            repo = self.standby_repos.get(repo_key)
+            if repo is None:
+                continue
+            snapshotted.add(repo_key)
+            entries = []
+            for sid in list(repo.store.subids()):
+                lo, hi = repo.store.get_box(sid)
+                entries.append(
+                    (
+                        (sid.nid, sid.iid),
+                        lo.tolist(),
+                        hi.tolist(),
+                        repo.kinds.get(sid, "sub"),
+                    )
+                )
+            snapshots.append({"repo": list(repo_key), "entries": entries})
+            entity = self.system.entity(repo.entity_key)
+            payload_bytes += len(entries) * subscription_wire_bytes(
+                entity.scheme.dimensions
+            )
+        markers.extend(
+            (self.node_id, iid, list(repo_key))
+            for iid, repo_key in self.marker_origin.items()
+            if repo_key in moved_repo_keys
+        )
+        if not groups and not snapshots and not markers:
             return
         self.send(
             Message(
                 src=self.addr,
                 dst=new_addr,
                 kind="ps_handoff",
-                payload={"groups": groups},
-                size_bytes=CONTROL_BYTES + payload_bytes,
+                payload={
+                    "groups": groups,
+                    "snapshots": snapshots,
+                    "markers": markers,
+                },
+                size_bytes=CONTROL_BYTES
+                + payload_bytes
+                + SUBID_BYTES * len(markers),
             )
         )
 
@@ -542,6 +845,31 @@ class PubSubNodeMixin:
                     np.asarray(highs, dtype=np.float64),
                     kind,
                 )
+        for group in msg.payload.get("snapshots", ()):
+            # Marker-served internal repos restored after a crash-rejoin.
+            # Installed verbatim -- the surrogate subscriptions pointing
+            # at them already exist in the child zones, so cascading
+            # again (as ``_register_local`` would) would mint duplicate
+            # markers.
+            entity_key, code, level = group["repo"]
+            entity = self.system.entity(entity_key)
+            zone = ContentZone(code, level, entity.geometry)
+            repo = self._get_repo(entity, zone)
+            for (nid, iid), lows, highs, kind in group["entries"]:
+                lo = np.asarray(lows, dtype=np.float64)
+                hi = np.asarray(highs, dtype=np.float64)
+                sid = SubID(nid, iid)
+                repo.store.put(sid, lo, hi)
+                repo.kinds[sid] = kind
+                repo.sf, _ = merge_box(repo.sf, (lo, hi))
+        for nid, iid, repo_key in msg.payload.get("markers", ()):
+            repo_key = tuple(repo_key)
+            if nid == self.node_id:
+                # Our own surrogate-subscription mapping, recovered after
+                # a crash-rejoin wiped the volatile ``marker_origin``.
+                self.marker_origin.setdefault(iid, repo_key)
+            else:
+                self.standby_markers[(nid, iid)] = repo_key
 
     def _on_ps_unregister(self, msg: Message) -> None:
         p = msg.payload
@@ -643,6 +971,8 @@ class PubSubNodeMixin:
         self._rel_seq += 1
         seq = self._rel_seq
         msg.payload["rseq"] = seq
+        if self._rel_epoch:
+            msg.payload["repoch"] = self._rel_epoch
         self._rel_pending[seq] = {
             "dst": msg.dst,
             "payload": msg.payload,
@@ -663,8 +993,17 @@ class PubSubNodeMixin:
             return  # acked in time
         if state["retries"] >= self.system.config.max_retries:
             del self._rel_pending[seq]
-            return  # hop presumed dead; routing repair will reroute later
+            # Hop presumed dead.  With hop-failover the pending SubIDs
+            # are re-grouped onto an alternate route; otherwise the
+            # give-up is *counted* (NetworkStats.gave_up) -- the seed
+            # dropped these silently, making exhausted hops invisible.
+            if self.system.config.hop_failover:
+                self._hop_failover(state)
+            else:
+                self._count_give_up(state["payload"])
+            return
         state["retries"] += 1
+        self.network.stats.retransmissions += 1
         clone = Message(
             src=self.addr,
             dst=state["dst"],
@@ -684,6 +1023,74 @@ class PubSubNodeMixin:
             self.system.config.retransmit_timeout_ms, self._rel_retry, seq
         )
 
+    def _count_give_up(self, payload: dict) -> None:
+        """Account an abandoned event packet (it is real delivery risk)."""
+        entries = payload.get("entries", ())
+        stats = self.network.stats
+        stats.gave_up += 1
+        stats.gave_up_subids += len(entries)
+        self.system.metrics.on_give_up(payload["event_id"], len(entries))
+
+    # ------------------------------------------------------------------
+    # Hop-failover rerouting (self-healing extension)
+    # ------------------------------------------------------------------
+    def _hop_failover(self, state: dict) -> None:
+        """Retry exhaustion against one hop: evict the corpse, reroute.
+
+        The dead address is purged from the local routing tables (the
+        retry exhaustion is stronger death evidence than one maintenance
+        timeout), then after ``failover_backoff_ms`` -- a beat for ring
+        maintenance to converge around the failure -- the packet's
+        SubIDs re-enter Algorithm 5 locally and are re-grouped onto the
+        surviving fingers/successors.  Each packet lineage carries a
+        failover budget (``fo``) so repeated dead hops terminate in a
+        counted give-up instead of looping.
+        """
+        dead_addr = state["dst"]
+        if hasattr(self, "evict_neighbor"):
+            self.evict_neighbor(dead_addr)
+        fo = state["payload"].get("fo")
+        if fo is None:
+            fo = self.system.config.failover_max_attempts
+        if fo <= 0 or not self._alive:
+            self._count_give_up(state["payload"])
+            return
+        self.sim.schedule(
+            self.system.config.failover_backoff_ms,
+            self._failover_resend,
+            state,
+            fo - 1,
+        )
+
+    def _failover_resend(self, state: dict, fo: int) -> None:
+        if not self._alive:
+            self._count_give_up(state["payload"])
+            return
+        p = state["payload"]
+        payload = {
+            "event_id": p["event_id"],
+            "scheme": p["scheme"],
+            "point": p["point"],
+            "entries": list(p["entries"]),
+            "fo": fo,
+        }
+        # Re-enter Algorithm 5 at this node: responsibility may have
+        # shifted to us meanwhile (takeover), in which case the entries
+        # are served locally from standby replicas; otherwise they are
+        # re-grouped by the repaired routing tables and forwarded.
+        self._process_event(
+            Message(
+                src=self.addr,
+                dst=self.addr,
+                kind="ps_event",
+                payload=payload,
+                size_bytes=0,
+                hops=state["hops"],
+                path_latency=state["path_latency"],
+                root_time=state["root_time"],
+            )
+        )
+
     def _on_ps_event_ack(self, msg: Message) -> None:
         self._rel_pending.pop(msg.payload["rseq"], None)
 
@@ -696,7 +1103,7 @@ class PubSubNodeMixin:
                     payload={"rseq": rseq}, size_bytes=CONTROL_BYTES,
                 )
             )
-            key = (msg.src, rseq)
+            key = (msg.src, msg.payload.get("repoch", 0), rseq)
             if key in self._rel_seen:
                 return  # duplicate (our ack was lost): already processed
             self._rel_seen.add(key)
@@ -716,6 +1123,12 @@ class PubSubNodeMixin:
         event_id = p["event_id"]
         point = p["point"]
         scheme_name = p["scheme"]
+        if msg.hops > self.system.config.event_ttl_hops:
+            # Transient routing loops are possible while the ring heals
+            # around a crash; the TTL converts them into counted drops.
+            self._count_give_up(p)
+            return
+        fo = p.get("fo")
 
         worklist = deque(p["entries"])
         groups: Dict[int, List[Tuple[int, Optional[int]]]] = {}
@@ -747,6 +1160,9 @@ class PubSubNodeMixin:
                 "point": point,
                 "entries": ents,
             }
+            if fo is not None:
+                # Inherited failover budget: bounded per packet lineage.
+                payload["fo"] = fo
             if piggyback is not None and self._pb_due(nh):
                 payload["pb"] = piggyback
                 size += PIGGYBACK_BYTES
@@ -826,8 +1242,15 @@ class PubSubNodeMixin:
             if repo_key is not None:
                 # A surrogate subscription fired in a child zone: match
                 # the summarised repository (the climb toward the root).
-                repo = self.zone_repos[repo_key]
-                return [(s.nid, s.iid) for s in repo.store.match_point(point)]
+                # After an arc handoff the live copy may have moved to
+                # our predecessor; an anti-entropy standby answers then.
+                repo = self.zone_repos.get(repo_key) or self.standby_repos.get(
+                    repo_key
+                )
+                if repo is not None:
+                    return [
+                        (s.nid, s.iid) for s in repo.store.match_point(point)
+                    ]
 
             entry = self.migrated.get(iid)
             if entry is not None:
@@ -841,7 +1264,11 @@ class PubSubNodeMixin:
         # here; serve the summarised repo from the standby replica.
         standby_key = self.standby_markers.get((nid, iid))
         if standby_key is not None and nid != self.node_id:
-            repo = self.standby_repos.get(standby_key)
+            # The replica may have been promoted to a live repo by
+            # anti-entropy takeover; either copy answers the marker.
+            repo = self.standby_repos.get(standby_key) or self.zone_repos.get(
+                standby_key
+            )
             if repo is not None:
                 entity = self.system.entity(repo.entity_key)
                 if entity.scheme.name == scheme_name:

@@ -49,6 +49,9 @@ class EventRecord:
     #: (src addr, dst addr, #subids) per forwarded packet; only filled
     #: while the owning system's ``tracing`` flag is on
     edges: List[Tuple[int, int, int]] = field(default_factory=list)
+    #: SubIDs abandoned by the reliable transport for this event (retry
+    #: exhaustion with no surviving failover route, or a TTL drop)
+    gave_up_subids: int = 0
 
     @property
     def matched(self) -> int:
@@ -104,6 +107,12 @@ class Metrics:
         rec = self.records.get(event_id)
         if rec is not None:
             rec.edges.append((src, dst, n_entries))
+
+    def on_give_up(self, event_id: int, n_entries: int) -> None:
+        """The transport abandoned ``n_entries`` SubIDs of this event."""
+        rec = self.records.get(event_id)
+        if rec is not None:
+            rec.gave_up_subids += n_entries
 
     def on_delivery(
         self,
@@ -376,6 +385,89 @@ class HyperSubSystem:
         self.ring.add(node.node_id, addr)
         node.join(self.nodes[bootstrap_addr])
         return addr
+
+    def rejoin_node(self, addr: int, bootstrap_addr: Optional[int] = None) -> int:
+        """Bring a *crashed* node back into the overlay (self-healing).
+
+        Crash-stop loses all volatile surrogate state (zone
+        repositories, standbys, markers); the replacement process keeps
+        only the durable client-side state -- the user's own
+        subscription list and the internal-id counter (ids embedded in
+        surrogates across the network must never be re-issued).  The
+        node re-enters through Chord's join protocol; once stabilization
+        slides it back in as its successor's predecessor, the standard
+        arc handoff (``ps_handoff``) returns the rendezvous
+        repositories of its arc -- which anti-entropy promotion kept
+        live on the takeover node -- and subsequent anti-entropy rounds
+        restore its standby copies.
+        """
+        if self.config.overlay != "chord":
+            raise ValueError("rejoin is only supported on chord")
+        old = self.nodes[addr]
+        if old.alive():
+            raise ValueError(f"node {addr} is alive; only crashed nodes rejoin")
+        self.network.unregister(addr)
+        node = self._node_factory()(addr, old.node_id, self.network)
+        node.own_subs = dict(old.own_subs)
+        node._iid_counter = old._iid_counter
+        node.capacity = old.capacity
+        # New transport incarnation: peers hold (addr, epoch, rseq) dedup
+        # entries from the previous life; restarting rseq at 0 under the
+        # same epoch would make them ack-and-discard our first packets.
+        node._rel_epoch = old._rel_epoch + 1
+        if hasattr(old, "stabilize_interval_ms"):
+            node.stabilize_interval_ms = old.stabilize_interval_ms
+            node.rpc_timeout_ms = old.rpc_timeout_ms
+        self.nodes[addr] = node
+        if bootstrap_addr is None:
+            bootstrap_addr = next(
+                a for a, n in enumerate(self.nodes) if n.alive() and a != addr
+            )
+        node.join(self.nodes[bootstrap_addr])
+        if self.config.anti_entropy:
+            node.start_anti_entropy()
+        return addr
+
+    # ------------------------------------------------------------------
+    # Fleet-wide maintenance / self-healing switches
+    # ------------------------------------------------------------------
+    def start_maintenance(
+        self,
+        stabilize_interval_ms: Optional[float] = None,
+        rpc_timeout_ms: Optional[float] = None,
+    ) -> None:
+        """Start periodic overlay maintenance on every alive node."""
+        for node in self.nodes:
+            if not node.alive() or not hasattr(node, "start_maintenance"):
+                continue
+            if stabilize_interval_ms is not None:
+                node.stabilize_interval_ms = stabilize_interval_ms
+            if rpc_timeout_ms is not None:
+                node.rpc_timeout_ms = rpc_timeout_ms
+            node.start_maintenance()
+
+    def stop_maintenance(self) -> None:
+        for node in self.nodes:
+            if hasattr(node, "stop_maintenance"):
+                node.stop_maintenance()
+
+    def start_anti_entropy(self) -> None:
+        """Start periodic anti-entropy repair on every alive node."""
+        if not self.config.anti_entropy:
+            raise ValueError("config.anti_entropy is off")
+        for node in self.nodes:
+            if node.alive():
+                node.start_anti_entropy()
+
+    def stop_anti_entropy(self) -> None:
+        for node in self.nodes:
+            node.stop_anti_entropy()
+
+    def check_invariants(self, **kwargs):
+        """Run a mid-simulation audit; see :class:`repro.faults.InvariantChecker`."""
+        from repro.faults import InvariantChecker
+
+        return InvariantChecker(**kwargs).check(self)
 
     def make_store(self, entity: PubSubEntity):
         """Subscription store for one zone repo, per ``matching_index``."""

@@ -409,6 +409,20 @@ class ChordNode(OverlayNode):
 
             self.lookup(id_add(self.node_id, 1 << i), _fixed)
 
+    def evict_neighbor(self, addr: int) -> None:
+        """Drop every routing entry pointing at ``addr`` (presumed dead).
+
+        Used by hop-failover: when event transport exhausts its retries
+        against a hop, the sender has stronger evidence of death than a
+        single maintenance timeout, so the corpse is purged immediately
+        and the alternate finger/successor takes over routing.  A wrong
+        call is harmless -- stabilization re-learns live neighbours.
+        """
+        self.successors = [s for s in self.successors if s[1] != addr]
+        self.fingers = {i: f for i, f in self.fingers.items() if f[1] != addr}
+        if self.predecessor is not None and self.predecessor[1] == addr:
+            self._set_predecessor(None)
+
     def leave(self) -> None:
         """Graceful departure: link predecessor and successor directly."""
         self.stop_maintenance()

@@ -26,6 +26,7 @@ from repro.analysis.compare import ShapeReport
 from repro.analysis.tables import format_series
 from repro.core.config import HyperSubConfig
 from repro.core.system import HyperSubSystem
+from repro.faults import FaultSchedule
 from repro.workloads import WorkloadGenerator, default_paper_spec
 
 
@@ -76,21 +77,24 @@ def _one_run(
         node.rpc_timeout_ms = 1500.0
         node.start_maintenance()
 
-    rng = np.random.default_rng(seed + 100)
-    n_fail = int(fail_fraction * num_nodes)
-    victims = rng.choice(num_nodes, size=n_fail, replace=False)
     # Failures land in a burst window, then the ring gets a grace period
     # to stabilize before events flow: the experiment isolates
     # *permanent state loss* (what replication addresses) from transient
-    # packet loss while fingers still point at fresh corpses.
+    # packet loss while fingers still point at fresh corpses.  The
+    # schedule is drawn deterministically from the seed so both arms
+    # (and any replay) see the identical fault timeline.
     churn_window = 5_000.0
     grace = 15_000.0
-    for v in victims:
-        system.sim.schedule_at(
-            float(rng.uniform(0.0, churn_window)), system.nodes[int(v)].fail
-        )
+    sched, victims = FaultSchedule.random_churn(
+        num_nodes,
+        fail_fraction,
+        crash_window=(0.0, churn_window),
+        seed=seed + 100,
+    )
+    sched.install(system)
 
-    victim_set = {int(v) for v in victims}
+    rng = np.random.default_rng(seed + 101)
+    victim_set = set(victims)
     alive_addrs = [a for a in range(num_nodes) if a not in victim_set]
 
     events = []
@@ -120,7 +124,14 @@ def _one_run(
             for s, sid in installed
             if sub_addr[sid] not in victim_set and s.matches(ev)
         )
-    return system.metrics.delivery_ratio(expected)
+    # With standby replicas the survivors' subscription state must still
+    # be covered after the crashes (ring consistency always must); the
+    # unreplicated arm loses state by design, so only the ring is
+    # checked there.
+    invariants_ok = system.check_invariants(
+        check_coverage=replication > 1
+    ).ok
+    return system.metrics.delivery_ratio(expected), invariants_ok
 
 
 def run(
@@ -133,28 +144,32 @@ def run(
     whether a *hot surrogate* is among the victims dominates a single
     run's ratio (itself an instructive observation -- state loss is as
     skewed as the load)."""
+    invariant_results: List[bool] = []
+
     def sweep(replication: int) -> List[float]:
-        return [
-            float(
-                np.mean(
-                    [
-                        _one_run(
-                            f,
-                            num_nodes=num_nodes,
-                            num_events=num_events,
-                            seed=s,
-                            replication=replication,
-                        )
-                        for s in seeds
-                    ]
+        out = []
+        for f in fail_fractions:
+            runs = [
+                _one_run(
+                    f,
+                    num_nodes=num_nodes,
+                    num_events=num_events,
+                    seed=s,
+                    replication=replication,
                 )
-            )
-            for f in fail_fractions
-        ]
+                for s in seeds
+            ]
+            invariant_results.extend(ok for _r, ok in runs)
+            out.append(float(np.mean([r for r, _ok in runs])))
+        return out
 
     ratios = sweep(1)
     replicated = sweep(3)
     report = ShapeReport("C1 churn")
+    report.expect_true(
+        all(invariant_results),
+        "ring (and replicated-arm coverage) invariants hold after churn",
+    )
     report.expect_within(
         ratios[0], 0.999, 1.0, "no churn => complete delivery"
     )

@@ -2,27 +2,33 @@
 
 The paper's simulator never drops packets, so Algorithm 5 is
 fire-and-forget.  Real wide-area links lose packets; this experiment
-injects i.i.d. loss and sweeps it against two transports:
+injects an i.i.d. loss window through a :class:`~repro.faults.
+FaultSchedule` and sweeps it against two transports:
 
 * **fire-and-forget** (the paper's): delivery ratio decays roughly as
   ``(1-p)^h`` per h-hop path;
 * **reliable** (extension): per-hop ack + retransmission with
   receiver-side de-duplication recovers every delivery, paying for it
-  in retransmitted bytes.
+  in retransmitted bytes -- now visible in the
+  ``NetworkStats.retransmissions`` / ``gave_up`` counters.
+
+A global-knowledge invariant check (ring consistency + zone coverage)
+runs at the end of every arm: message loss must never corrupt state,
+only delay or drop deliveries.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import List, Sequence
 
 import numpy as np
 
 from repro.analysis.compare import ShapeReport
 from repro.analysis.tables import format_series
 from repro.core.config import HyperSubConfig
-from repro.core.event import Event
 from repro.core.system import HyperSubSystem
+from repro.faults import FaultSchedule
 from repro.workloads import WorkloadGenerator, default_paper_spec
 
 
@@ -32,6 +38,8 @@ class ReliabilityResult:
     plain_ratio: List[float]
     reliable_ratio: List[float]
     reliable_byte_overhead: List[float]
+    retransmissions: List[int]
+    gave_up: List[int]
     report: ShapeReport
 
     def render(self) -> str:
@@ -44,6 +52,8 @@ class ReliabilityResult:
                         "fire-and-forget ratio": self.plain_ratio,
                         "reliable ratio": self.reliable_ratio,
                         "reliable byte overhead x": self.reliable_byte_overhead,
+                        "retransmissions": self.retransmissions,
+                        "packets abandoned": self.gave_up,
                     },
                     title="R1 -- delivery under injected message loss",
                 ),
@@ -68,7 +78,7 @@ def _one_run(loss: float, reliable: bool, num_nodes: int, num_events: int):
     system.add_scheme(gen.scheme)
     installed = gen.populate(system)
     system.finish_setup()
-    system.network.set_loss_rate(loss, seed=9)
+    FaultSchedule().loss(0.0, loss, seed=9).install(system)
 
     rng = np.random.default_rng(3)
     delivered = expected = 0
@@ -81,8 +91,16 @@ def _one_run(loss: float, reliable: bool, num_nodes: int, num_events: int):
         want = {(sid.nid, sid.iid) for s, sid in installed if s.matches(ev)}
         delivered += len(got & want)
         expected += len(want)
-    bytes_total = float(system.network.stats.bytes_by_kind.get("ps_event", 0.0))
-    return delivered / max(expected, 1), bytes_total
+    stats = system.network.stats
+    bytes_total = float(stats.bytes_by_kind.get("ps_event", 0.0))
+    invariants_ok = system.check_invariants().ok
+    return (
+        delivered / max(expected, 1),
+        bytes_total,
+        stats.retransmissions,
+        stats.gave_up,
+        invariants_ok,
+    )
 
 
 def run(
@@ -91,12 +109,19 @@ def run(
     loss_rates: Sequence[float] = (0.0, 0.02, 0.05, 0.10),
 ) -> ReliabilityResult:
     plain, reliable, overhead = [], [], []
+    retrans, gave_up = [], []
+    invariants_ok = True
     for p in loss_rates:
-        r_plain, b_plain = _one_run(p, False, num_nodes, num_events)
-        r_rel, b_rel = _one_run(p, True, num_nodes, num_events)
+        r_plain, b_plain, _, _, inv_p = _one_run(p, False, num_nodes, num_events)
+        r_rel, b_rel, n_retrans, n_gave, inv_r = _one_run(
+            p, True, num_nodes, num_events
+        )
         plain.append(r_plain)
         reliable.append(r_rel)
         overhead.append(b_rel / max(b_plain, 1e-9))
+        retrans.append(n_retrans)
+        gave_up.append(n_gave)
+        invariants_ok = invariants_ok and inv_p and inv_r
 
     report = ShapeReport("R1 reliability")
     report.expect_within(plain[0], 0.999, 1.0, "no loss: fire-and-forget exact")
@@ -112,11 +137,20 @@ def run(
         overhead[-1], 2.0,
         "retransmission overhead stays below 2x bytes at the worst loss",
     )
+    report.expect_true(
+        retrans[0] == 0 and retrans[-1] > 0,
+        "retransmission counter tracks injected loss",
+    )
+    report.expect_true(
+        invariants_ok, "ring/coverage invariants hold under loss"
+    )
     return ReliabilityResult(
         loss_rates=list(loss_rates),
         plain_ratio=plain,
         reliable_ratio=reliable,
         reliable_byte_overhead=overhead,
+        retransmissions=retrans,
+        gave_up=gave_up,
         report=report,
     )
 

@@ -1,0 +1,22 @@
+"""Fault-schedule injection and self-healing audit tools (extension).
+
+The paper defers fault tolerance to future work; this package supplies
+the scaffolding the robustness experiments need:
+
+* :class:`FaultSchedule` -- a deterministic, seedable timeline of
+  crash / rejoin / partition / loss / latency-spike actions driven by
+  the simulator clock;
+* :class:`InvariantChecker` / :class:`InvariantReport` -- global-
+  knowledge audits of ring consistency, zone-responsibility coverage
+  and replica-count floors, runnable mid-simulation.
+"""
+
+from repro.faults.invariants import InvariantChecker, InvariantReport
+from repro.faults.schedule import FaultAction, FaultSchedule
+
+__all__ = [
+    "FaultAction",
+    "FaultSchedule",
+    "InvariantChecker",
+    "InvariantReport",
+]

@@ -1,0 +1,275 @@
+"""Deterministic fault-schedule injection.
+
+The seed repository injected failures ad hoc: experiments called
+``Network.set_loss_rate`` / ``set_partition`` at fixed wall points and
+scheduled ``node.fail()`` by hand, which made fault timelines
+impossible to reuse, compose or replay.  :class:`FaultSchedule` fixes
+that: a schedule is an ordered list of primitive actions pinned to
+simulated time, built either through the fluent builder methods, from
+the declarative spec DSL (:meth:`FaultSchedule.from_spec`), or sampled
+deterministically from a seed (:meth:`FaultSchedule.random_churn`).
+``install(system)`` arms every action on the system's simulator clock;
+nothing happens until the clock reaches it.
+
+Primitives:
+
+* ``crash(t, addrs)`` -- crash-stop nodes (volatile surrogate state lost);
+* ``rejoin(t, addrs)`` -- crashed nodes re-enter through Chord's join
+  protocol and resync their arcs (see ``HyperSubSystem.rejoin_node``);
+* ``partition(t0, t1, groups)`` -- a partition window that heals itself;
+* ``loss(t0, rate, until=t1)`` -- an i.i.d. message-loss window;
+* ``latency_spike(t0, t1, factor)`` -- links slow down by ``factor``.
+
+Every action is applied through one dispatch point, so a schedule can
+be rendered (``describe()``) and replayed bit-identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.system import HyperSubSystem
+
+#: Action kinds understood by :meth:`FaultSchedule._apply`.
+_KINDS = (
+    "crash",
+    "rejoin",
+    "partition",
+    "heal_partition",
+    "loss",
+    "clear_loss",
+    "latency",
+    "clear_latency",
+)
+
+
+@dataclass(frozen=True)
+class FaultAction:
+    """One primitive scheduled at an absolute simulated time (ms)."""
+
+    time_ms: float
+    kind: str
+    #: node addresses (crash / rejoin)
+    addrs: tuple = ()
+    #: addr -> group map (partition)
+    groups: Optional[tuple] = None
+    #: loss probability (loss)
+    rate: float = 0.0
+    #: latency multiplier (latency)
+    factor: float = 1.0
+    #: rng seed for the loss process
+    seed: int = 0
+
+    def describe(self) -> str:
+        if self.kind in ("crash", "rejoin"):
+            return f"t={self.time_ms:.0f}ms {self.kind} {list(self.addrs)}"
+        if self.kind == "partition":
+            return f"t={self.time_ms:.0f}ms partition {dict(self.groups)}"
+        if self.kind == "loss":
+            return f"t={self.time_ms:.0f}ms loss rate={self.rate:.3f}"
+        if self.kind == "latency":
+            return f"t={self.time_ms:.0f}ms latency x{self.factor:g}"
+        return f"t={self.time_ms:.0f}ms {self.kind}"
+
+
+class FaultSchedule:
+    """An ordered, replayable list of fault-injection actions.
+
+    Builder methods return ``self`` so schedules read as timelines::
+
+        FaultSchedule().crash(5_000, victims).rejoin(30_000, victims)
+
+    Ties on time fire in insertion order (the simulator's tie-break),
+    so a schedule is fully deterministic.
+    """
+
+    def __init__(self) -> None:
+        self.actions: List[FaultAction] = []
+        self._installed = False
+
+    # ------------------------------------------------------------------
+    # Builders
+    # ------------------------------------------------------------------
+    def _add(self, action: FaultAction) -> "FaultSchedule":
+        if action.kind not in _KINDS:  # pragma: no cover - internal guard
+            raise ValueError(f"unknown fault kind {action.kind!r}")
+        if action.time_ms < 0:
+            raise ValueError("fault times must be non-negative")
+        self.actions.append(action)
+        return self
+
+    def crash(self, at_ms: float, addrs: Iterable[int]) -> "FaultSchedule":
+        """Crash-stop ``addrs`` at ``at_ms`` (volatile state is lost)."""
+        return self._add(FaultAction(at_ms, "crash", addrs=tuple(addrs)))
+
+    def rejoin(self, at_ms: float, addrs: Iterable[int]) -> "FaultSchedule":
+        """Previously crashed ``addrs`` rejoin the overlay at ``at_ms``."""
+        return self._add(FaultAction(at_ms, "rejoin", addrs=tuple(addrs)))
+
+    def partition(
+        self, from_ms: float, until_ms: float, groups: Dict[int, int]
+    ) -> "FaultSchedule":
+        """Split the network into ``groups`` during [from_ms, until_ms)."""
+        if until_ms <= from_ms:
+            raise ValueError("partition window must have positive length")
+        self._add(
+            FaultAction(from_ms, "partition", groups=tuple(sorted(groups.items())))
+        )
+        return self._add(FaultAction(until_ms, "heal_partition"))
+
+    def loss(
+        self,
+        from_ms: float,
+        rate: float,
+        until_ms: Optional[float] = None,
+        seed: int = 0,
+    ) -> "FaultSchedule":
+        """Drop packets with probability ``rate`` from ``from_ms`` on;
+        ``until_ms`` (exclusive) closes the window, ``None`` leaves it
+        open for the rest of the run."""
+        if not 0.0 <= rate < 1.0:
+            raise ValueError("loss rate must be in [0, 1)")
+        self._add(FaultAction(from_ms, "loss", rate=rate, seed=seed))
+        if until_ms is not None:
+            if until_ms <= from_ms:
+                raise ValueError("loss window must have positive length")
+            self._add(FaultAction(until_ms, "clear_loss"))
+        return self
+
+    def latency_spike(
+        self, from_ms: float, until_ms: float, factor: float
+    ) -> "FaultSchedule":
+        """Multiply link latencies by ``factor`` during the window."""
+        if until_ms <= from_ms:
+            raise ValueError("latency window must have positive length")
+        if factor <= 0:
+            raise ValueError("latency factor must be positive")
+        self._add(FaultAction(from_ms, "latency", factor=factor))
+        return self._add(FaultAction(until_ms, "clear_latency"))
+
+    # ------------------------------------------------------------------
+    # Generators
+    # ------------------------------------------------------------------
+    @classmethod
+    def random_churn(
+        cls,
+        num_nodes: int,
+        fail_fraction: float,
+        crash_window: tuple,
+        rejoin_window: Optional[tuple] = None,
+        seed: int = 0,
+        protect: Iterable[int] = (),
+    ) -> tuple:
+        """Sample a deterministic crash(-and-rejoin) schedule.
+
+        ``fail_fraction`` of the ``num_nodes`` addresses (excluding
+        ``protect``) crash at times uniform in ``crash_window``; when
+        ``rejoin_window`` is given each victim rejoins at a time uniform
+        in it.  Returns ``(schedule, victims)`` so experiments can build
+        their delivery oracles from the same draw.
+        """
+        rng = np.random.default_rng(seed)
+        protected = set(protect)
+        candidates = [a for a in range(num_nodes) if a not in protected]
+        n_fail = int(fail_fraction * num_nodes)
+        if n_fail > len(candidates):
+            raise ValueError("not enough unprotected nodes to fail")
+        victims = sorted(
+            int(v) for v in rng.choice(candidates, size=n_fail, replace=False)
+        )
+        sched = cls()
+        for v in victims:
+            sched.crash(float(rng.uniform(*crash_window)), [v])
+        if rejoin_window is not None:
+            for v in victims:
+                sched.rejoin(float(rng.uniform(*rejoin_window)), [v])
+        return sched, victims
+
+    @classmethod
+    def from_spec(cls, spec: Sequence[Dict]) -> "FaultSchedule":
+        """Build a schedule from the declarative DSL (docs/SIMULATOR.md).
+
+        Each entry is a dict with either ``at`` (instant actions) or
+        ``from``/``to`` (window actions) plus exactly one fault key::
+
+            [{"at": 5000, "crash": [3, 7]},
+             {"at": 30000, "rejoin": [3, 7]},
+             {"from": 1000, "to": 4000, "loss": 0.1, "seed": 9},
+             {"from": 2000, "to": 6000, "partition": {0: 0, 1: 1}},
+             {"from": 8000, "to": 9000, "latency": 3.0}]
+        """
+        sched = cls()
+        for entry in spec:
+            entry = dict(entry)
+            at = entry.pop("at", None)
+            t0 = entry.pop("from", None)
+            t1 = entry.pop("to", None)
+            seed = entry.pop("seed", 0)
+            if len(entry) != 1:
+                raise ValueError(f"spec entry needs exactly one fault key: {entry}")
+            key, value = next(iter(entry.items()))
+            if key in ("crash", "rejoin"):
+                if at is None:
+                    raise ValueError(f"{key} needs 'at'")
+                getattr(sched, key)(at, value)
+            elif key == "loss":
+                if t0 is None:
+                    raise ValueError("loss needs 'from'")
+                sched.loss(t0, value, until_ms=t1, seed=seed)
+            elif key == "partition":
+                if t0 is None or t1 is None:
+                    raise ValueError("partition needs 'from' and 'to'")
+                sched.partition(t0, t1, {int(k): v for k, v in value.items()})
+            elif key == "latency":
+                if t0 is None or t1 is None:
+                    raise ValueError("latency needs 'from' and 'to'")
+                sched.latency_spike(t0, t1, value)
+            else:
+                raise ValueError(f"unknown fault key {key!r}")
+        return sched
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def install(self, system: "HyperSubSystem") -> None:
+        """Arm every action on the system's simulator (once per schedule)."""
+        if self._installed:
+            raise RuntimeError("schedule already installed")
+        self._installed = True
+        for action in sorted(self.actions, key=lambda a: a.time_ms):
+            system.sim.schedule_at(action.time_ms, self._apply, system, action)
+
+    @staticmethod
+    def _apply(system: "HyperSubSystem", action: FaultAction) -> None:
+        net = system.network
+        if action.kind == "crash":
+            for addr in action.addrs:
+                system.nodes[addr].fail()
+        elif action.kind == "rejoin":
+            for addr in action.addrs:
+                system.rejoin_node(addr)
+        elif action.kind == "partition":
+            net.set_partition(dict(action.groups))
+        elif action.kind == "heal_partition":
+            net.clear_partition()
+        elif action.kind == "loss":
+            net.set_loss_rate(action.rate, seed=action.seed)
+        elif action.kind == "clear_loss":
+            net.clear_loss()
+        elif action.kind == "latency":
+            net.set_latency_factor(action.factor)
+        elif action.kind == "clear_latency":  # pragma: no branch
+            net.clear_latency_factor()
+
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        """Human-readable timeline (sorted by firing time)."""
+        lines = [a.describe() for a in sorted(self.actions, key=lambda a: a.time_ms)]
+        return "\n".join(lines) if lines else "(empty schedule)"
+
+    def __len__(self) -> int:
+        return len(self.actions)

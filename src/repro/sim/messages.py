@@ -27,6 +27,9 @@ CONTROL_BYTES = 20
 #: Bytes added to an event packet when ring state rides along
 #: (sender id + predecessor + successor entries; piggyback extension).
 PIGGYBACK_BYTES = 24
+#: Bytes charged per zone-repository summary in an anti-entropy digest
+#: (repo key ~12B + entry count 4B + 8B checksum; self-healing extension).
+AE_DIGEST_ENTRY_BYTES = 24
 
 _msg_counter = itertools.count()
 

@@ -68,6 +68,7 @@ class Network:
         self._loss_rate = 0.0
         self._loss_rng = None
         self._partition: Optional[Dict[int, int]] = None  # addr -> group
+        self._latency_factor = 1.0
 
     # ------------------------------------------------------------------
     # Failure injection
@@ -82,11 +83,30 @@ class Network:
         self._loss_rate = rate
         self._loss_rng = np.random.default_rng(seed) if rate > 0 else None
 
+    def clear_loss(self) -> None:
+        """Heal message loss: stop dropping packets."""
+        self.set_loss_rate(0.0)
+
     def set_partition(self, groups: Optional[Dict[int, int]]) -> None:
         """Install a network partition: packets between addresses in
         different groups are dropped.  Addresses absent from the map are
         group 0.  ``None`` heals the partition."""
         self._partition = dict(groups) if groups is not None else None
+
+    def clear_partition(self) -> None:
+        """Heal the partition: all addresses can talk again."""
+        self._partition = None
+
+    def set_latency_factor(self, factor: float) -> None:
+        """Multiply every non-local one-way latency by ``factor``
+        (congestion / latency-spike injection).  1.0 is nominal."""
+        if factor <= 0:
+            raise ValueError("latency factor must be positive")
+        self._latency_factor = factor
+
+    def clear_latency_factor(self) -> None:
+        """Heal a latency spike: restore nominal link latencies."""
+        self._latency_factor = 1.0
 
     def _injected_failure(self, msg: Message) -> bool:
         if self._partition is not None:
@@ -138,7 +158,7 @@ class Network:
             self.dropped += 1
             return
         self.stats.record_send(msg.src, msg.dst, msg.kind, msg.size_bytes)
-        latency = self.topology.latency_ms(msg.src, msg.dst)
+        latency = self.topology.latency_ms(msg.src, msg.dst) * self._latency_factor
         self.sim.schedule(latency, self._deliver, msg, latency)
 
     def _deliver(self, msg: Message, latency: float) -> None:

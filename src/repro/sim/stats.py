@@ -52,6 +52,15 @@ class NetworkStats:
         self.out_msgs = np.zeros(num_nodes, dtype=np.int64)
         self.bytes_by_kind: Dict[str, float] = {}
         self.msgs_by_kind: Dict[str, int] = {}
+        #: reliable-transport health: packets resent after an ack timeout,
+        #: and packets abandoned after exhausting retries *and* (when
+        #: hop-failover is on) rerouting attempts.  Before these existed,
+        #: exhausted hops vanished silently (src/repro/core/node.py's
+        #: _rel_retry simply dropped the pending state).
+        self.retransmissions = 0
+        self.gave_up = 0
+        #: SubIDs riding on abandoned packets (deliveries at risk).
+        self.gave_up_subids = 0
 
     def record_send(self, src: int, dst: int, kind: str, size_bytes: int) -> None:
         self.out_bytes[src] += size_bytes
@@ -77,6 +86,17 @@ class NetworkStats:
         self.out_msgs[:] = 0
         self.bytes_by_kind.clear()
         self.msgs_by_kind.clear()
+        self.retransmissions = 0
+        self.gave_up = 0
+        self.gave_up_subids = 0
+
+    def bytes_for(self, prefixes: Iterable[str]) -> float:
+        """Total bytes over all message kinds matching any prefix
+        (e.g. ``("ps_ae_", "ps_handoff")`` isolates repair traffic)."""
+        prefixes = tuple(prefixes)
+        return sum(
+            b for k, b in self.bytes_by_kind.items() if k.startswith(prefixes)
+        )
 
 
 @dataclass
