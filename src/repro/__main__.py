@@ -6,6 +6,12 @@ Examples::
     python -m repro fig5 --scale quick   # fast sanity sweep
     python -m repro all                  # every experiment, in order
     python -m repro list                 # what's available
+
+Observability (docs/OBSERVABILITY.md)::
+
+    python -m repro recovery --quick --telemetry-out out/
+    python -m repro trace --telemetry-out out/          # list traced events
+    python -m repro trace --event 3 --telemetry-out out/  # causal span tree
 """
 
 from __future__ import annotations
@@ -55,8 +61,8 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "list"],
-        help="experiment id (see `list`)",
+        choices=sorted(EXPERIMENTS) + ["all", "list", "trace"],
+        help="experiment id (see `list`), or `trace` to inspect a trace",
     )
     parser.add_argument(
         "--scale",
@@ -69,7 +75,28 @@ def main(argv=None) -> int:
         action="store_true",
         help="shorthand for --scale quick (CI smoke runs)",
     )
+    parser.add_argument(
+        "--telemetry-out",
+        metavar="DIR",
+        default=None,
+        help="write manifest.json, metrics.json and trace.jsonl to DIR; "
+        "for `trace`, the directory to read from (default: out)",
+    )
+    parser.add_argument(
+        "--event",
+        type=int,
+        default=None,
+        help="(trace) event id whose causal span tree to render",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="(trace) emit the event's raw spans as JSON",
+    )
     args = parser.parse_args(argv)
+
+    if args.experiment == "trace":
+        return run_trace(args)
 
     if args.quick and not args.scale:
         args.scale = "quick"
@@ -97,13 +124,84 @@ def main(argv=None) -> int:
         print(f"\n===== {name}: {desc} =====")
         t0 = time.time()
         module = importlib.import_module(mod_name)
-        result = module.run()
+        if args.telemetry_out:
+            result = _run_observed(args, name, names, module)
+        else:
+            result = module.run()
         print(result.render())
         print(f"[{name} finished in {time.time() - t0:.1f}s]")
         report = getattr(result, "report", None)
         if report is not None and not report.all_passed:
             failures += 1
     return 1 if failures else 0
+
+
+def _run_observed(args, name: str, names, module):
+    """Run one experiment inside an ambient telemetry session.
+
+    Systems built by the experiment attach themselves (see
+    ``repro.telemetry.session``); on exit the session writes
+    ``manifest.json`` / ``metrics.json`` / ``trace.jsonl``.  When
+    several experiments run (``all``), each gets its own subdirectory
+    so artifacts never clobber each other.
+    """
+    from repro.telemetry import telemetry_session
+
+    out_dir = args.telemetry_out
+    if len(names) > 1:
+        out_dir = os.path.join(out_dir, name)
+    with telemetry_session(out_dir, label=name) as session:
+        session.command = "python -m repro " + " ".join(
+            [name] + (["--scale", args.scale] if args.scale else [])
+        )
+        session.annotate(scale=os.environ.get("REPRO_SCALE"))
+        result = module.run()
+        report = getattr(result, "report", None)
+        # Merge, not replace: the experiment itself may already have
+        # recorded a richer summary under its own name.
+        summary = dict(session.results.get(name, {}))
+        summary["passed"] = None if report is None else report.all_passed
+        session.record_result(name, summary)
+    print(f"[telemetry written to {out_dir}]")
+    return result
+
+
+def run_trace(args) -> int:
+    """``python -m repro trace``: inspect an exported span trace."""
+    import json
+
+    from repro.telemetry.tracing import (
+        read_jsonl,
+        render_span_tree,
+        spans_for_event,
+    )
+
+    source = args.telemetry_out or "out"
+    path = source if os.path.isfile(source) else os.path.join(source, "trace.jsonl")
+    if not os.path.exists(path):
+        print(
+            f"no trace at {path}; run an experiment with --telemetry-out "
+            "first (e.g. `python -m repro recovery --quick "
+            "--telemetry-out out/`)",
+            file=sys.stderr,
+        )
+        return 2
+    spans = read_jsonl(path)
+    if args.event is None:
+        events = sorted({s["event"] for s in spans if "event" in s})
+        print(f"{len(spans)} spans across {len(events)} events in {path}")
+        if events:
+            head = ", ".join(str(e) for e in events[:20])
+            more = " ..." if len(events) > 20 else ""
+            print(f"event ids: {head}{more}")
+            print("render one with --event N (add --json for raw spans)")
+        return 0
+    if args.json:
+        ev = spans_for_event(spans, args.event)
+        print(json.dumps(ev, indent=2))
+        return 0 if ev else 1
+    print(render_span_tree(spans, args.event))
+    return 0
 
 
 if __name__ == "__main__":

@@ -7,11 +7,18 @@ records an edge, and :func:`render_dissemination_tree` draws the
 resulting tree -- which nodes relayed, which matched, where the SubID
 lists grew and shrank.  Used by ``examples/trace_event.py`` and
 invaluable when a delivery test fails.
+
+Since the telemetry subsystem landed, ``EventRecord.edges`` and the
+``forward`` spans in :mod:`repro.telemetry.tracing` are written by the
+same call site in ``repro.core.node`` -- an exported ``trace.jsonl``
+reconstructs exactly these trees (:func:`edges_from_trace`), and
+``python -m repro trace --event N`` renders the full causal view
+(matches, retransmissions, failover reroutes included).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Set, Tuple
+from typing import Dict, Iterable, List, Set, Tuple
 
 
 def render_dissemination_tree(record, max_depth: int = 32) -> str:
@@ -27,6 +34,11 @@ def render_dissemination_tree(record, max_depth: int = 32) -> str:
     children: Dict[int, List[Tuple[int, int]]] = {}
     for src, dst, n_entries in record.edges:
         children.setdefault(src, []).append((dst, n_entries))
+    # Edge arrival order depends on packet interleaving; sorting each
+    # sibling list by destination address makes the rendering a stable
+    # artifact (diffable across runs of the same seed).
+    for kids in children.values():
+        kids.sort()
     delivered_at: Dict[int, int] = {}
     for _subid, addr, _hops, _lat in record.deliveries:
         delivered_at[addr] = delivered_at.get(addr, 0) + 1
@@ -84,16 +96,33 @@ def transport_summary(stats) -> Dict[str, int]:
         "retransmissions": stats.retransmissions,
         "gave_up_packets": stats.gave_up,
         "gave_up_subids": stats.gave_up_subids,
+        "msgs_by_kind": dict(sorted(stats.msgs_by_kind.items())),
     }
 
 
 def render_transport_summary(stats) -> str:
     s = transport_summary(stats)
-    return (
+    lines = [
         f"transport: {s['retransmissions']} retransmissions, "
         f"{s['gave_up_packets']} packets abandoned "
         f"({s['gave_up_subids']} subids at risk)"
-    )
+    ]
+    if s["msgs_by_kind"]:
+        per_kind = ", ".join(
+            f"{kind} x{count}" for kind, count in s["msgs_by_kind"].items()
+        )
+        lines.append(f"messages: {per_kind}")
+    return "\n".join(lines)
+
+
+def edges_from_trace(spans: Iterable[dict], event_id: int) -> List[Tuple[int, int, int]]:
+    """``(src, dst, n_entries)`` edges of one event from an exported
+    ``trace.jsonl`` -- the same set :class:`EventRecord.edges` holds,
+    because both views are written by one call site.
+    """
+    from repro.telemetry.tracing import edges_from_spans
+
+    return edges_from_spans(spans, event_id)
 
 
 def tree_stats(record) -> Dict[str, float]:

@@ -22,6 +22,7 @@ Concrete node classes bind the mixin to an overlay:
 from __future__ import annotations
 
 from collections import deque
+from time import perf_counter
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 import numpy as np
@@ -537,7 +538,17 @@ class PubSubNodeMixin:
             "repos": digest,
             "markers": markers,
         }
+        tel = self.system.telemetry
         for _succ_id, succ_addr in replicas:
+            if tel is not None and tel.tracing:
+                tel.tracer.span(
+                    "ae_digest",
+                    t=self.sim.now,
+                    node=self.addr,
+                    dst=succ_addr,
+                    repos=len(digest),
+                    bytes=size,
+                )
             self.send(
                 Message(
                     src=self.addr,
@@ -629,6 +640,16 @@ class PubSubNodeMixin:
             payload_bytes += len(drop) * SUBID_BYTES
         if not groups:
             return
+        tel = self.system.telemetry
+        if tel is not None and tel.tracing:
+            tel.tracer.span(
+                "ae_fill",
+                t=self.sim.now,
+                node=self.addr,
+                dst=msg.payload["origin"],
+                repos=len(groups),
+                bytes=CONTROL_BYTES + payload_bytes,
+            )
         self.send(
             Message(
                 src=self.addr,
@@ -926,6 +947,19 @@ class PubSubNodeMixin:
             "point": event.point,
             "entries": entries,
         }
+        root_span = None
+        tel = self.system.telemetry
+        if tel is not None:
+            tel.registry.counter("events.published").inc()
+            if tel.tracing:
+                root_span = tel.tracer.span(
+                    "publish",
+                    t=self.sim.now,
+                    node=self.addr,
+                    event=event_id,
+                    scheme=event.scheme_name,
+                    entries=len(entries),
+                )
         root = Message(
             src=self.addr,
             dst=self.addr,
@@ -933,6 +967,7 @@ class PubSubNodeMixin:
             payload=payload,
             size_bytes=0,
             root_time=self.sim.now,
+            span_id=root_span,
         )
         self._process_event(root)
         return event_id
@@ -981,6 +1016,7 @@ class PubSubNodeMixin:
             "path_latency": msg.path_latency,
             "root_time": msg.root_time,
             "retries": 0,
+            "span": msg.span_id,
         }
         self.send(msg)
         self.sim.schedule(
@@ -1000,10 +1036,21 @@ class PubSubNodeMixin:
             if self.system.config.hop_failover:
                 self._hop_failover(state)
             else:
-                self._count_give_up(state["payload"])
+                self._count_give_up(state["payload"], span=state.get("span"))
             return
         state["retries"] += 1
         self.network.stats.retransmissions += 1
+        tel = self.system.telemetry
+        if tel is not None and tel.tracing:
+            tel.tracer.span(
+                "retransmit",
+                t=self.sim.now,
+                node=self.addr,
+                event=state["payload"]["event_id"],
+                parent=state.get("span"),
+                dst=state["dst"],
+                attempt=state["retries"],
+            )
         clone = Message(
             src=self.addr,
             dst=state["dst"],
@@ -1013,6 +1060,7 @@ class PubSubNodeMixin:
             hops=state["hops"],
             path_latency=state["path_latency"],
             root_time=state["root_time"],
+            span_id=state.get("span"),
         )
         # A retransmission is real traffic.
         self.system.metrics.on_event_message(
@@ -1023,13 +1071,25 @@ class PubSubNodeMixin:
             self.system.config.retransmit_timeout_ms, self._rel_retry, seq
         )
 
-    def _count_give_up(self, payload: dict) -> None:
+    def _count_give_up(
+        self, payload: dict, span: Optional[int] = None
+    ) -> None:
         """Account an abandoned event packet (it is real delivery risk)."""
         entries = payload.get("entries", ())
         stats = self.network.stats
         stats.gave_up += 1
         stats.gave_up_subids += len(entries)
         self.system.metrics.on_give_up(payload["event_id"], len(entries))
+        tel = self.system.telemetry
+        if tel is not None and tel.tracing:
+            tel.tracer.span(
+                "give_up",
+                t=self.sim.now,
+                node=self.addr,
+                event=payload["event_id"],
+                parent=span,
+                entries=len(entries),
+            )
 
     # ------------------------------------------------------------------
     # Hop-failover rerouting (self-healing extension)
@@ -1053,8 +1113,22 @@ class PubSubNodeMixin:
         if fo is None:
             fo = self.system.config.failover_max_attempts
         if fo <= 0 or not self._alive:
-            self._count_give_up(state["payload"])
+            self._count_give_up(state["payload"], span=state.get("span"))
             return
+        tel = self.system.telemetry
+        if tel is not None and tel.tracing:
+            sid = tel.tracer.span(
+                "failover",
+                t=self.sim.now,
+                node=self.addr,
+                event=state["payload"]["event_id"],
+                parent=state.get("span"),
+                dead=dead_addr,
+                budget=fo,
+            )
+            # Reroutes nest under the failover decision, keeping the
+            # causal chain publish -> forward -> failover -> forward.
+            state["span"] = sid
         self.sim.schedule(
             self.system.config.failover_backoff_ms,
             self._failover_resend,
@@ -1064,7 +1138,7 @@ class PubSubNodeMixin:
 
     def _failover_resend(self, state: dict, fo: int) -> None:
         if not self._alive:
-            self._count_give_up(state["payload"])
+            self._count_give_up(state["payload"], span=state.get("span"))
             return
         p = state["payload"]
         payload = {
@@ -1088,6 +1162,7 @@ class PubSubNodeMixin:
                 hops=state["hops"],
                 path_latency=state["path_latency"],
                 root_time=state["root_time"],
+                span_id=state.get("span"),
             )
         )
 
@@ -1126,20 +1201,31 @@ class PubSubNodeMixin:
         if msg.hops > self.system.config.event_ttl_hops:
             # Transient routing loops are possible while the ring heals
             # around a crash; the TTL converts them into counted drops.
-            self._count_give_up(p)
+            self._count_give_up(p, span=msg.span_id)
             return
         fo = p.get("fo")
+        tel = self.system.telemetry
+        prof = tel.profiler if tel is not None and tel.profiling else None
 
         worklist = deque(p["entries"])
         groups: Dict[int, List[Tuple[int, Optional[int]]]] = {}
         while worklist:
             nid, iid = worklist.popleft()
             if self.is_responsible(nid):
-                worklist.extend(
-                    self._handle_local_entry(event_id, scheme_name, point, nid, iid, msg)
+                if prof is not None:
+                    t0 = perf_counter()
+                more = self._handle_local_entry(
+                    event_id, scheme_name, point, nid, iid, msg
                 )
+                if prof is not None:
+                    prof.add("algo5.match", perf_counter() - t0)
+                worklist.extend(more)
             else:
+                if prof is not None:
+                    t0 = perf_counter()
                 nh = self.next_hop_addr(nid)
+                if prof is not None:
+                    prof.add("algo5.route", perf_counter() - t0)
                 if nh is None:  # pragma: no cover - defensive
                     continue
                 groups.setdefault(nh, []).append((nid, iid))
@@ -1168,6 +1254,20 @@ class PubSubNodeMixin:
                 size += PIGGYBACK_BYTES
             child = msg.child(self.addr, nh, "ps_event", payload, size)
             self.system.metrics.on_event_message(event_id, size)
+            # One call site feeds both edge views: the EventRecord list
+            # and the causal trace ("forward" spans) stay in lockstep.
+            if tel is not None and tel.tracing:
+                child.span_id = tel.tracer.span(
+                    "forward",
+                    t=self.sim.now,
+                    node=self.addr,
+                    event=event_id,
+                    parent=msg.span_id,
+                    src=self.addr,
+                    dst=nh,
+                    entries=len(ents),
+                    bytes=size,
+                )
             if self.system.tracing:
                 self.system.metrics.on_event_edge(
                     event_id, self.addr, nh, len(ents)
@@ -1176,6 +1276,19 @@ class PubSubNodeMixin:
                 self._send_event_reliably(child)
             else:
                 self.send(child)
+
+    def _trace_match(self, event_id: int, msg: Message, n_matched: int) -> None:
+        """Record one matching step in the causal trace (if active)."""
+        tel = self.system.telemetry
+        if tel is not None and tel.tracing and n_matched:
+            tel.tracer.span(
+                "match",
+                t=self.sim.now,
+                node=self.addr,
+                event=event_id,
+                parent=msg.span_id,
+                entries=n_matched,
+            )
 
     def _handle_local_entry(
         self,
@@ -1214,6 +1327,7 @@ class PubSubNodeMixin:
                     matched.extend(
                         (s.nid, s.iid) for s in repo.store.match_point(point)
                     )
+            self._trace_match(event_id, msg, len(matched))
             return matched
 
         # Local iid tables are only meaningful for OUR node id: being
@@ -1226,13 +1340,32 @@ class PubSubNodeMixin:
                 entity_key, sub, _zone = self.own_subs[iid]
                 if sub.scheme_name != scheme_name:  # pragma: no cover - defensive
                     return []
+                latency_ms = self.sim.now - msg.root_time
                 self.system.metrics.on_delivery(
                     event_id,
                     SubID(self.node_id, iid),
                     self.addr,
                     msg.hops,
-                    self.sim.now - msg.root_time,
+                    latency_ms,
                 )
+                tel = self.system.telemetry
+                if tel is not None:
+                    tel.registry.counter("events.delivered").inc()
+                    tel.registry.histogram("delivery.hops").observe(msg.hops)
+                    tel.registry.histogram("delivery.latency_ms").observe(
+                        latency_ms
+                    )
+                    if tel.tracing:
+                        tel.tracer.span(
+                            "deliver",
+                            t=self.sim.now,
+                            node=self.addr,
+                            event=event_id,
+                            parent=msg.span_id,
+                            subid=[self.node_id, iid],
+                            hops=msg.hops,
+                            latency_ms=latency_ms,
+                        )
                 self.system.notify_application(
                     self.addr, event_id, SubID(self.node_id, iid)
                 )
@@ -1248,16 +1381,20 @@ class PubSubNodeMixin:
                     repo_key
                 )
                 if repo is not None:
-                    return [
+                    matched = [
                         (s.nid, s.iid) for s in repo.store.match_point(point)
                     ]
+                    self._trace_match(event_id, msg, len(matched))
+                    return matched
 
             entry = self.migrated.get(iid)
             if entry is not None:
                 mig_scheme, store = entry
                 if mig_scheme != scheme_name:
                     return []
-                return [(s.nid, s.iid) for s in store.match_point(point)]
+                matched = [(s.nid, s.iid) for s in store.match_point(point)]
+                self._trace_match(event_id, msg, len(matched))
+                return matched
 
         # Takeover path: a surrogate subscription of a failed primary --
         # we are the successor of its id, so its marker entries route

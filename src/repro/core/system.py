@@ -30,8 +30,9 @@ from repro.dht.chord import build_chord_overlay
 from repro.dht.pastry import build_pastry_overlay
 from repro.sim.engine import Simulator
 from repro.sim.network import Network
-from repro.sim.stats import Distribution
+from repro.sim.stats import Distribution, NetworkStats
 from repro.sim.topology import KingLikeTopology, Topology
+from repro.telemetry.session import current_session
 
 
 @dataclass
@@ -200,7 +201,15 @@ class HyperSubSystem:
             raise ValueError("num_nodes disagrees with the topology size")
         self.topology = topology
         self.sim = Simulator()
-        self.network = Network(self.sim, topology)
+        #: ambient telemetry session (None = observability disabled; the
+        #: hot paths guard on this single attribute, so a disabled run
+        #: pays one attribute load per packet)
+        self.telemetry = current_session()
+        stats = NetworkStats(
+            topology.size,
+            registry=self.telemetry.registry if self.telemetry else None,
+        )
+        self.network = Network(self.sim, topology, stats=stats)
         self.metrics = Metrics()
 
         factory = self._node_factory()
@@ -247,6 +256,11 @@ class HyperSubSystem:
         self.on_deliver: Optional[Callable[[int, int, SubID], None]] = None
         #: record per-event dissemination edges (see repro.analysis.trace)
         self.tracing: bool = False
+        if self.telemetry is not None:
+            # Under a session, edge capture rides the span trace -- keep
+            # EventRecord.edges in lockstep so both views agree.
+            self.tracing = self.telemetry.tracing
+            self.telemetry.attach_system(self)
 
     def _node_factory(self):
         cls = (
@@ -340,12 +354,63 @@ class HyperSubSystem:
         self.sim.run_until_idle()
         self.network.stats.reset()
         self.metrics.clear_events()
+        self.sample_telemetry()
 
     def run(self, until: Optional[float] = None) -> int:
-        return self.sim.run(until=until)
+        n = self.sim.run(until=until)
+        self.sample_telemetry()
+        return n
 
     def run_until_idle(self) -> int:
-        return self.sim.run_until_idle()
+        n = self.sim.run_until_idle()
+        self.sample_telemetry()
+        return n
+
+    # ------------------------------------------------------------------
+    # Telemetry (see repro.telemetry and docs/OBSERVABILITY.md)
+    # ------------------------------------------------------------------
+    def sample_telemetry(self) -> None:
+        """Publish the system-level gauges and snapshot every metric.
+
+        Called automatically at phase boundaries (``finish_setup`` and
+        whenever ``run``/``run_until_idle`` returns); experiments that
+        want a denser sim-time series can arm a periodic sampler::
+
+            system.sim.schedule_every(5_000.0, system.sample_telemetry,
+                                      until=t_end)
+
+        No-op when no telemetry session is active.
+        """
+        tel = self.telemetry
+        if tel is None:
+            return
+        reg = tel.registry
+        loads = self.node_loads()
+        mean_load = float(loads.mean()) if len(loads) else 0.0
+        reg.gauge("node.load_imbalance").set(
+            float(loads.max()) / mean_load if mean_load > 0 else 0.0
+        )
+        occupied = 0
+        chain_depth = 0
+        for node in self.nodes:
+            if not node.alive():
+                continue
+            occupied += len(node.zone_repos)
+            for repo in node.zone_repos.values():
+                if repo.marker_iids and repo.zone.level > chain_depth:
+                    chain_depth = repo.zone.level
+        #: live zone repositories across the deployment
+        reg.gauge("zone.occupancy").set(float(occupied))
+        #: deepest zone level that pushed surrogate subscriptions -- the
+        #: length of the longest surrogate-subscription chain an event
+        #: may climb
+        reg.gauge("surrogate.chain_depth").set(float(chain_depth))
+        stats = self.network.stats
+        reg.gauge("repair.bytes").set(
+            stats.bytes_for(("ps_ae_", "ps_handoff"))
+        )
+        reg.gauge("event.bytes").set(stats.bytes_for(("ps_event",)))
+        reg.sample_all(self.sim.now)
 
     # ------------------------------------------------------------------
     # Load balancing entry points

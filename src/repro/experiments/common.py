@@ -19,6 +19,7 @@ import numpy as np
 from repro.core.config import HyperSubConfig
 from repro.core.system import HyperSubSystem
 from repro.sim.stats import Distribution
+from repro.telemetry import current_session
 from repro.workloads import WorkloadGenerator, default_paper_spec
 from repro.workloads.spec import WorkloadSpec
 
@@ -164,6 +165,21 @@ def run_delivery(
         avg_rtt_ms=system.topology.mean_rtt(20_000),
         wall_seconds=time.time() - t0,
     )
+    tel = current_session()
+    if tel is not None:
+        # One headline block per configuration in the run manifest.
+        tel.record_result(
+            f"delivery[{cfg.label}]",
+            {
+                "num_nodes": cfg.num_nodes,
+                "num_events": cfg.num_events,
+                "mean_max_hops": result.max_hops.mean,
+                "mean_max_latency_ms": result.max_latency_ms.mean,
+                "mean_bandwidth_kb": result.bandwidth_kb.mean,
+                "total_subscriptions": result.total_subscriptions,
+                "wall_seconds": result.wall_seconds,
+            },
+        )
     if use_cache and spec is None:
         _memo[cfg] = result
     return result

@@ -198,7 +198,17 @@ def run(
     )
     sched.install(system)
 
-    system.run(until=c_end + 60_000.0)
+    # Time-series sampling across the crash -> heal timeline: with an
+    # ambient telemetry session the occupancy / imbalance / chain-depth
+    # gauges get one point per second of simulated time, bounded so the
+    # final run_until_idle still drains.
+    run_end = c_end + 60_000.0
+    if system.telemetry is not None:
+        system.sim.schedule_every(
+            1_000.0, system.sample_telemetry, until=run_end
+        )
+
+    system.run(until=run_end)
     system.stop_maintenance()
     system.stop_anti_entropy()
     system.run_until_idle()
@@ -263,6 +273,19 @@ def run(
     report.expect_true(
         inv.ok, "invariants hold at end of run", detail=inv.render()
     )
+    if system.telemetry is not None:
+        system.telemetry.record_result(
+            "recovery",
+            {
+                "fail_fraction": fail_fraction,
+                "phase_ratios": {ph.name: ph.ratio for ph in phases},
+                "repair_kb": float(repair_kb),
+                "retransmissions": stats.retransmissions,
+                "gave_up": stats.gave_up,
+                "invariants_ok": inv.ok,
+            },
+        )
+        system.telemetry.annotate(fault_schedule=sched.describe())
     return RecoveryResult(
         fail_fraction=fail_fraction,
         phases=phases,

@@ -87,6 +87,13 @@ class InvariantChecker:
         if self.check_replicas:
             report.checked.append("replicas")
             self._check_replicas(system, alive, report)
+        tel = getattr(system, "telemetry", None)
+        if tel is not None:
+            tel.registry.counter("invariants.checks").inc()
+            if report.violations:
+                tel.registry.counter("invariants.violations").inc(
+                    len(report.violations)
+                )
         return report
 
     # ------------------------------------------------------------------

@@ -246,6 +246,19 @@ class FaultSchedule:
     @staticmethod
     def _apply(system: "HyperSubSystem", action: FaultAction) -> None:
         net = system.network
+        # getattr: fault tests drive _apply against stub systems.
+        tel = getattr(system, "telemetry", None)
+        if tel is not None:
+            tel.registry.counter(f"faults.{action.kind}").inc(
+                len(action.addrs) or 1
+            )
+            if tel.tracing:
+                tel.tracer.span(
+                    "fault",
+                    t=system.sim.now,
+                    fault=action.kind,
+                    addrs=list(action.addrs),
+                )
         if action.kind == "crash":
             for addr in action.addrs:
                 system.nodes[addr].fail()

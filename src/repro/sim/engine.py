@@ -34,6 +34,22 @@ class EventHandle:
         self.cancelled = True
 
 
+class RepeatingHandle:
+    """Cancellation token for :meth:`Simulator.schedule_every`."""
+
+    __slots__ = ("cancelled", "_inner")
+
+    def __init__(self) -> None:
+        self.cancelled = False
+        self._inner: Optional[EventHandle] = None
+
+    def cancel(self) -> None:
+        """Stop future firings.  Idempotent."""
+        self.cancelled = True
+        if self._inner is not None:
+            self._inner.cancel()
+
+
 class Simulator:
     """A discrete-event simulation engine.
 
@@ -86,6 +102,39 @@ class Simulator:
         handle = EventHandle(time, self._seq)
         heapq.heappush(self._queue, (time, self._seq, handle, fn, args))
         self._seq += 1
+        return handle
+
+    def schedule_every(
+        self,
+        interval_ms: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        until: Optional[float] = None,
+    ) -> RepeatingHandle:
+        """Run ``fn(*args)`` every ``interval_ms``, first firing one
+        interval from now.
+
+        ``until`` bounds the series (no firing strictly after it), which
+        keeps ``run_until_idle`` terminating; an unbounded series must be
+        cancelled via the returned handle before draining the queue.
+        Used by telemetry's periodic metric sampling and handy for any
+        maintenance-style loop.
+        """
+        if interval_ms <= 0:
+            raise ValueError(f"non-positive interval: {interval_ms!r}")
+        handle = RepeatingHandle()
+
+        def _tick() -> None:
+            if handle.cancelled:
+                return
+            fn(*args)
+            nxt = self._now + interval_ms
+            if until is None or nxt <= until:
+                handle._inner = self.schedule(interval_ms, _tick)
+
+        first = self._now + interval_ms
+        if until is None or first <= until:
+            handle._inner = self.schedule(interval_ms, _tick)
         return handle
 
     # ------------------------------------------------------------------

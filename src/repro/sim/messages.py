@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Optional
 
 #: Bytes charged for a packet header on every message.
 HEADER_BYTES = 20
@@ -61,6 +61,10 @@ class Message:
     path_latency: float = 0.0
     #: simulation time at which the *root* request was issued
     root_time: float = 0.0
+    #: telemetry span under which this packet's processing nests (set by
+    #: the sender when causal tracing is active; NOT inherited by
+    #: ``child`` -- each forwarded packet gets its own ``forward`` span)
+    span_id: Optional[int] = None
     msg_id: int = field(default_factory=lambda: next(_msg_counter))
 
     def child(self, src: int, dst: int, kind: str, payload: Any, size_bytes: int) -> "Message":

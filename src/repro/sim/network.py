@@ -63,12 +63,23 @@ class Network:
         self.stats = stats or NetworkStats(topology.size)
         self.local_delivery_delay_ms = local_delivery_delay_ms
         self._nodes: Dict[int, SimNode] = {}
-        self.dropped = 0
+        #: packets that never reached a live handler (dead destination,
+        #: injected loss, partition).  Registry-backed so the count lands
+        #: in telemetry manifests; the attribute API is unchanged.
+        self._c_dropped = self.stats.registry.counter("net.dropped")
         # -- failure injection ------------------------------------------
         self._loss_rate = 0.0
         self._loss_rng = None
         self._partition: Optional[Dict[int, int]] = None  # addr -> group
         self._latency_factor = 1.0
+
+    @property
+    def dropped(self) -> int:
+        return int(self._c_dropped.value)
+
+    @dropped.setter
+    def dropped(self, value: int) -> None:
+        self._c_dropped.value = float(value)
 
     # ------------------------------------------------------------------
     # Failure injection

@@ -14,9 +14,11 @@ accumulated by the pub/sub layer in :class:`repro.core.system.EventRecord`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+from repro.telemetry.registry import MetricsRegistry
 
 
 class Counter:
@@ -42,9 +44,19 @@ class Counter:
 
 
 class NetworkStats:
-    """Per-node byte/message accounting for one simulation run."""
+    """Per-node byte/message accounting for one simulation run.
 
-    def __init__(self, num_nodes: int) -> None:
+    The reliable-transport health counters (``retransmissions``,
+    ``gave_up``, ``gave_up_subids``) live in a
+    :class:`~repro.telemetry.registry.MetricsRegistry` under the
+    ``transport.*`` names rather than as ad-hoc attributes; the
+    attribute API is preserved via properties.  Passing the telemetry
+    session's registry makes them land in the run manifest for free.
+    """
+
+    def __init__(
+        self, num_nodes: int, registry: Optional[MetricsRegistry] = None
+    ) -> None:
         self.num_nodes = num_nodes
         self.in_bytes = np.zeros(num_nodes, dtype=np.float64)
         self.out_bytes = np.zeros(num_nodes, dtype=np.float64)
@@ -52,15 +64,41 @@ class NetworkStats:
         self.out_msgs = np.zeros(num_nodes, dtype=np.int64)
         self.bytes_by_kind: Dict[str, float] = {}
         self.msgs_by_kind: Dict[str, int] = {}
+        self.registry = registry if registry is not None else MetricsRegistry()
         #: reliable-transport health: packets resent after an ack timeout,
         #: and packets abandoned after exhausting retries *and* (when
         #: hop-failover is on) rerouting attempts.  Before these existed,
         #: exhausted hops vanished silently (src/repro/core/node.py's
         #: _rel_retry simply dropped the pending state).
-        self.retransmissions = 0
-        self.gave_up = 0
+        self._c_retrans = self.registry.counter("transport.retransmissions")
+        self._c_gave_up = self.registry.counter("transport.gave_up")
         #: SubIDs riding on abandoned packets (deliveries at risk).
-        self.gave_up_subids = 0
+        self._c_gave_up_subids = self.registry.counter("transport.gave_up_subids")
+
+    # -- registry-backed counter attributes -----------------------------
+    @property
+    def retransmissions(self) -> int:
+        return int(self._c_retrans.value)
+
+    @retransmissions.setter
+    def retransmissions(self, value: int) -> None:
+        self._c_retrans.value = float(value)
+
+    @property
+    def gave_up(self) -> int:
+        return int(self._c_gave_up.value)
+
+    @gave_up.setter
+    def gave_up(self, value: int) -> None:
+        self._c_gave_up.value = float(value)
+
+    @property
+    def gave_up_subids(self) -> int:
+        return int(self._c_gave_up_subids.value)
+
+    @gave_up_subids.setter
+    def gave_up_subids(self, value: int) -> None:
+        self._c_gave_up_subids.value = float(value)
 
     def record_send(self, src: int, dst: int, kind: str, size_bytes: int) -> None:
         self.out_bytes[src] += size_bytes
@@ -86,9 +124,7 @@ class NetworkStats:
         self.out_msgs[:] = 0
         self.bytes_by_kind.clear()
         self.msgs_by_kind.clear()
-        self.retransmissions = 0
-        self.gave_up = 0
-        self.gave_up_subids = 0
+        self.registry.reset("transport.")
 
     def bytes_for(self, prefixes: Iterable[str]) -> float:
         """Total bytes over all message kinds matching any prefix
@@ -138,6 +174,11 @@ class Distribution:
         """
         if not self.n:
             return np.array([]), np.array([])
+        if self.values[0] == self.values[-1]:
+            # Degenerate sample (n == 1, or all values equal):
+            # ``np.linspace`` would collapse to one x repeated ``points``
+            # times.  The honest CDF is a single step at that value.
+            return np.array([self.values[0]]), np.array([1.0])
         xs = np.linspace(self.values[0], self.values[-1], points)
         fs = np.searchsorted(self.values, xs, side="right") / self.n
         return xs, fs

@@ -1,0 +1,60 @@
+"""``repro.telemetry`` -- observability for every experiment.
+
+Four pieces, one session:
+
+* :class:`MetricsRegistry` -- named counters / gauges / histograms with
+  sim-time series sampling (``repro.telemetry.registry``);
+* :class:`Tracer` -- causal span tracing of publish -> forward ->
+  match -> deliver chains, JSONL export (``repro.telemetry.tracing``);
+* :class:`Profiler` -- wall-clock totals for the matching/routing hot
+  paths (``repro.telemetry.profiler``);
+* the run **manifest** -- config, seed, git rev, workload, metric
+  summaries written next to every output (``repro.telemetry.manifest``).
+
+See docs/OBSERVABILITY.md for the metric catalogue and trace schema.
+"""
+
+from repro.telemetry.manifest import (
+    REQUIRED_METRICS,
+    load_manifest,
+    validate_manifest,
+    write_manifest,
+)
+from repro.telemetry.profiler import Profiler
+from repro.telemetry.registry import Counter, Gauge, Histogram, MetricsRegistry
+from repro.telemetry.session import (
+    TelemetrySession,
+    current_session,
+    set_session,
+    telemetry_session,
+)
+from repro.telemetry.tracing import (
+    Span,
+    Tracer,
+    edges_from_spans,
+    read_jsonl,
+    render_span_tree,
+    spans_for_event,
+)
+
+__all__ = [
+    "REQUIRED_METRICS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Profiler",
+    "Span",
+    "TelemetrySession",
+    "Tracer",
+    "current_session",
+    "edges_from_spans",
+    "load_manifest",
+    "read_jsonl",
+    "render_span_tree",
+    "set_session",
+    "spans_for_event",
+    "telemetry_session",
+    "validate_manifest",
+    "write_manifest",
+]

@@ -1,0 +1,66 @@
+"""Wall-clock profiling of the simulator's hot paths.
+
+Simulated time tells you what the *protocol* costs; wall-clock time
+tells you what the *simulator* costs -- which is what the ROADMAP's
+"as fast as the hardware allows" push needs to see.  The profiler
+accumulates per-phase totals (``match`` = Algorithm 5 local matching,
+``route`` = overlay next-hop/LPH lookup, plus anything an experiment
+wraps in :meth:`Profiler.timeit`) with negligible overhead: one
+``perf_counter`` pair per timed call, and zero cost when telemetry is
+disabled because the call sites guard on the session being present.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Dict, Iterator
+
+
+class Profiler:
+    """Per-phase wall-clock accumulator."""
+
+    __slots__ = ("seconds", "calls")
+
+    def __init__(self) -> None:
+        self.seconds: Dict[str, float] = {}
+        self.calls: Dict[str, int] = {}
+
+    def add(self, phase: str, seconds: float) -> None:
+        self.seconds[phase] = self.seconds.get(phase, 0.0) + seconds
+        self.calls[phase] = self.calls.get(phase, 0) + 1
+
+    @contextmanager
+    def timeit(self, phase: str) -> Iterator[None]:
+        t0 = perf_counter()
+        try:
+            yield
+        finally:
+            self.add(phase, perf_counter() - t0)
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        out: Dict[str, Dict[str, float]] = {}
+        for phase in sorted(self.seconds):
+            n = self.calls[phase]
+            s = self.seconds[phase]
+            out[phase] = {
+                "calls": n,
+                "seconds": s,
+                "us_per_call": (s / n) * 1e6 if n else 0.0,
+            }
+        return out
+
+    def render(self) -> str:
+        if not self.seconds:
+            return "profile: (no samples)"
+        lines = [f"{'phase':24s} {'calls':>10s} {'total s':>9s} {'us/call':>9s}"]
+        for phase, row in self.summary().items():
+            lines.append(
+                f"{phase:24s} {row['calls']:10d} {row['seconds']:9.3f} "
+                f"{row['us_per_call']:9.2f}"
+            )
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        self.seconds.clear()
+        self.calls.clear()

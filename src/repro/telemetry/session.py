@@ -1,0 +1,168 @@
+"""The telemetry session: one registry + tracer + profiler + manifest.
+
+A session is *ambient*: ``python -m repro <exp> --telemetry-out DIR``
+installs one with :func:`set_session`, and every
+:class:`~repro.core.system.HyperSubSystem` built while it is active
+attaches itself automatically -- experiments need no plumbing changes
+to become observable.  ``finalize()`` writes the three artifacts::
+
+    DIR/trace.jsonl     one span per line (causal event traces)
+    DIR/metrics.json    full registry dump (values + sampled series)
+    DIR/manifest.json   run provenance (see repro.telemetry.manifest)
+
+Library code can also scope a session explicitly::
+
+    with telemetry_session("out/run1") as sess:
+        system = HyperSubSystem(...)   # attaches to sess
+        ...
+    # artifacts are on disk here
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import asdict, is_dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.telemetry.manifest import git_revision, versions, write_manifest
+from repro.telemetry.profiler import Profiler
+from repro.telemetry.registry import MetricsRegistry
+from repro.telemetry.tracing import Tracer
+
+
+class TelemetrySession:
+    """Collects everything one observable invocation produces."""
+
+    def __init__(
+        self,
+        out_dir,
+        label: str = "run",
+        tracing: bool = True,
+        profiling: bool = True,
+        max_spans: int = 2_000_000,
+    ) -> None:
+        self.out_dir = Path(out_dir)
+        self.out_dir.mkdir(parents=True, exist_ok=True)
+        self.label = label
+        #: span recording on/off (counters and profiling are independent)
+        self.tracing = tracing
+        #: wall-clock profiling of the matching/routing hot paths
+        self.profiling = profiling
+        self.registry = MetricsRegistry()
+        self.tracer = Tracer(max_spans=max_spans)
+        self.profiler = Profiler()
+        #: one entry per system built under this session
+        self.runs: List[Dict[str, Any]] = []
+        #: per-experiment result summaries (record_result)
+        self.results: Dict[str, Dict[str, Any]] = {}
+        #: free-form provenance (workload spec, scale, ...)
+        self.extra: Dict[str, Any] = {}
+        #: invoking command line, stamped by the CLI before finalize
+        self.command: Optional[str] = None
+        self._t0 = time.time()
+        self._finalized = False
+
+    # -- paths ------------------------------------------------------------
+    @property
+    def trace_path(self) -> Path:
+        return self.out_dir / "trace.jsonl"
+
+    @property
+    def metrics_path(self) -> Path:
+        return self.out_dir / "metrics.json"
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.out_dir / "manifest.json"
+
+    # -- population --------------------------------------------------------
+    def attach_system(self, system) -> None:
+        """Record one system's provenance (called by HyperSubSystem)."""
+        self.runs.append(
+            {
+                "num_nodes": len(system.nodes),
+                "overlay": system.config.overlay,
+                "seed": system.config.seed,
+                "config": asdict(system.config),
+            }
+        )
+
+    def record_result(self, name: str, summary: Dict[str, Any]) -> None:
+        """Attach one experiment's headline numbers to the manifest."""
+        self.results[name] = dict(summary)
+
+    def annotate(self, **info: Any) -> None:
+        """Merge free-form provenance (workload spec, scale, ...)."""
+        for key, value in info.items():
+            if is_dataclass(value) and not isinstance(value, type):
+                value = asdict(value)
+            self.extra[key] = value
+
+    # -- output ------------------------------------------------------------
+    def build_manifest(self, command: Optional[str] = None) -> Dict[str, Any]:
+        command = command if command is not None else self.command
+        return {
+            "created_utc": time.strftime(
+                "%Y-%m-%dT%H:%M:%SZ", time.gmtime(self._t0)
+            ),
+            "label": self.label,
+            "command": command,
+            "git_rev": git_revision(),
+            "versions": versions(),
+            "wall_seconds": time.time() - self._t0,
+            "runs": self.runs,
+            "results": self.results,
+            "extra": self.extra,
+            "metrics": self.registry.summary(),
+            "profile": self.profiler.summary(),
+            "trace_file": self.trace_path.name,
+            "trace_spans": len(self.tracer),
+            "trace_spans_dropped": self.tracer.dropped,
+            "trace_events": len(self.tracer.event_ids()),
+        }
+
+    def finalize(self, command: Optional[str] = None) -> Dict[str, Any]:
+        """Write trace.jsonl, metrics.json and manifest.json (idempotent)."""
+        self._finalized = True
+        self.tracer.write_jsonl(self.trace_path)
+        import json
+
+        self.metrics_path.write_text(
+            json.dumps(self.registry.as_dict(), indent=2, sort_keys=True)
+            + "\n",
+            encoding="utf-8",
+        )
+        manifest = self.build_manifest(command=command)
+        write_manifest(self.manifest_path, manifest)
+        return manifest
+
+
+# ----------------------------------------------------------------------
+# Ambient session
+# ----------------------------------------------------------------------
+_current: Optional[TelemetrySession] = None
+
+
+def current_session() -> Optional[TelemetrySession]:
+    """The active session, or None when telemetry is disabled."""
+    return _current
+
+
+def set_session(session: Optional[TelemetrySession]) -> None:
+    global _current
+    _current = session
+
+
+@contextmanager
+def telemetry_session(out_dir, **kwargs) -> Iterator[TelemetrySession]:
+    """Scope an ambient session; finalizes (writes artifacts) on exit."""
+    session = TelemetrySession(out_dir, **kwargs)
+    previous = current_session()
+    set_session(session)
+    try:
+        yield session
+    finally:
+        set_session(previous)
+        session.finalize()

@@ -86,3 +86,67 @@ def test_render_empty_record():
 
     rec = EventRecord(event_id=5, scheme="s", publisher_addr=0, publish_time=0.0)
     assert "no traffic" in render_dissemination_tree(rec)
+
+
+def test_render_is_deterministic_under_edge_reordering(traced_run):
+    """Sibling order is sorted by destination address, so the rendering
+    is independent of packet interleaving in the edge log."""
+    import copy
+
+    _system, record = traced_run
+    out = render_dissemination_tree(record)
+    shuffled = copy.copy(record)
+    shuffled.edges = list(reversed(record.edges))
+    assert render_dissemination_tree(shuffled) == out
+
+
+def test_transport_summary_includes_msgs_by_kind(traced_run):
+    from repro.analysis.trace import (
+        render_transport_summary,
+        transport_summary,
+    )
+
+    system, _record = traced_run
+    s = transport_summary(system.network.stats)
+    assert s["msgs_by_kind"].get("ps_event", 0) > 0
+    assert list(s["msgs_by_kind"]) == sorted(s["msgs_by_kind"])
+    rendered = render_transport_summary(system.network.stats)
+    assert "ps_event x" in rendered
+
+
+def test_trace_edges_match_record_edges(traced_run):
+    """The exported span trace reconstructs EventRecord.edges exactly
+    (same call site writes both views)."""
+    from repro.analysis.trace import edges_from_trace
+    from repro.telemetry import TelemetrySession, set_session
+
+    sess = TelemetrySession("/tmp/_analysis_trace_test", label="t")
+    set_session(sess)
+    try:
+        system = HyperSubSystem(
+            num_nodes=40, config=HyperSubConfig(seed=3, code_bits=12)
+        )
+        scheme = Scheme("s", [Attribute(n, 0, 10000) for n in "abcd"])
+        system.add_scheme(scheme)
+        rng = np.random.default_rng(2)
+        for _ in range(150):
+            lows, highs = [], []
+            for _ in range(4):
+                c = float(rng.normal(3000, 300) % 10000)
+                w = float(rng.uniform(100, 700))
+                lows.append(max(0.0, c - w))
+                highs.append(min(10000.0, c + w))
+            system.subscribe(
+                int(rng.integers(0, 40)),
+                Subscription.from_box(scheme, lows, highs),
+            )
+        system.finish_setup()
+        ev = Event(scheme, list(rng.normal(3000, 300, 4) % 10000))
+        eid = system.publish(7, ev)
+        system.run_until_idle()
+        spans = [s.to_dict() for s in sess.tracer.spans]
+        assert sorted(edges_from_trace(spans, eid)) == sorted(
+            system.metrics.records[eid].edges
+        )
+    finally:
+        set_session(None)

@@ -29,6 +29,33 @@ class TestNetworkStats:
         assert s.in_msgs[2] == 1
         assert s.msgs_by_kind["k"] == 1
 
+    def test_transport_counters_are_registry_backed(self):
+        s = NetworkStats(3)
+        s.retransmissions += 2
+        s.gave_up += 1
+        s.gave_up_subids += 4
+        assert s.retransmissions == 2
+        assert s.registry.value("transport.retransmissions") == 2.0
+        assert s.registry.value("transport.gave_up") == 1.0
+        assert s.registry.value("transport.gave_up_subids") == 4.0
+
+    def test_shared_registry_receives_transport_counts(self):
+        from repro.telemetry import MetricsRegistry
+
+        reg = MetricsRegistry()
+        s = NetworkStats(3, registry=reg)
+        s.retransmissions += 5
+        assert reg.value("transport.retransmissions") == 5.0
+
+    def test_reset_zeroes_transport_counters(self):
+        s = NetworkStats(3)
+        s.record_send(0, 2, "k", 50)
+        s.retransmissions += 3
+        s.reset()
+        assert s.retransmissions == 0
+        assert s.total_bytes == 0.0
+        assert s.msgs_by_kind == {}
+
 
 class TestDistribution:
     def test_summary_fields(self):
@@ -63,6 +90,20 @@ class TestDistribution:
         assert d.mean == 0.0
         xs, fs = d.cdf()
         assert len(xs) == 0
+
+    def test_cdf_single_value_is_one_point_step(self):
+        # Regression: np.linspace over a zero-width range used to
+        # return the same x 100 times, each with F(x)=1.
+        d = Distribution.from_values([7.0])
+        xs, fs = d.cdf()
+        assert list(xs) == [7.0]
+        assert list(fs) == [1.0]
+
+    def test_cdf_all_equal_values_is_one_point_step(self):
+        d = Distribution.from_values([3.0, 3.0, 3.0])
+        xs, fs = d.cdf(50)
+        assert list(xs) == [3.0]
+        assert list(fs) == [1.0]
 
     def test_summary_dict(self):
         d = Distribution.from_values(range(101))
