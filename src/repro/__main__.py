@@ -44,13 +44,16 @@ EXPERIMENTS = {
     "recovery": (
         "repro.experiments.recovery", "R2: self-healing recovery timeline"
     ),
+    "overload": (
+        "repro.experiments.overload", "R3: overload protection under storms"
+    ),
 }
 
 #: everything `all` runs (table1 has no driver; fig2-4 share cached runs)
 RUN_ORDER = [
     "fig2", "fig3", "fig4", "table2", "fig5",
     "baselines", "ablation", "churn", "piggyback", "dynamic", "install",
-    "heterogeneous", "reliability", "recovery",
+    "heterogeneous", "reliability", "recovery", "overload",
 ]
 
 

@@ -96,6 +96,11 @@ def transport_summary(stats) -> Dict[str, int]:
         "retransmissions": stats.retransmissions,
         "gave_up_packets": stats.gave_up,
         "gave_up_subids": stats.gave_up_subids,
+        "busy_backoffs": stats.busy_backoffs,
+        "shed": stats.shed,
+        "breaker_opens": stats.breaker_opens,
+        "dropped": stats.dropped,
+        "dropped_by_cause": stats.dropped_by_cause,
         "msgs_by_kind": dict(sorted(stats.msgs_by_kind.items())),
     }
 
@@ -107,6 +112,15 @@ def render_transport_summary(stats) -> str:
         f"{s['gave_up_packets']} packets abandoned "
         f"({s['gave_up_subids']} subids at risk)"
     ]
+    if s["busy_backoffs"] or s["shed"] or s["breaker_opens"]:
+        lines.append(
+            f"overload: {s['shed']} shed, {s['busy_backoffs']} busy "
+            f"backoffs, {s['breaker_opens']} breaker opens"
+        )
+    drops = {c: n for c, n in s["dropped_by_cause"].items() if n}
+    if drops:
+        per_cause = ", ".join(f"{c} x{n}" for c, n in sorted(drops.items()))
+        lines.append(f"dropped: {s['dropped']} ({per_cause})")
     if s["msgs_by_kind"]:
         per_kind = ", ".join(
             f"{kind} x{count}" for kind, count in s["msgs_by_kind"].items()

@@ -103,6 +103,42 @@ class HyperSubConfig:
     #: Anti-entropy round period (simulated ms).
     anti_entropy_interval_ms: float = 5_000.0
 
+    # -- finite service & overload protection (extension) ----------------
+    #: Per-node finite service model: messages join a bounded ingress
+    #: queue and are handled at ``service_rate_msgs_per_ms * capacity``
+    #: instead of instantaneously.  The paper's simulator (and the
+    #: default here) gives nodes infinite processing capacity, which
+    #: makes overload literally unobservable; with the service model a
+    #: transient event storm at a hot rendezvous zone queues, ages and
+    #: overflows like a real broker (docs/FAULTS.md).
+    service_model: bool = False
+    #: Messages served per millisecond per unit of node capacity
+    #: (heterogeneous capacities scale it; 0.5 = 2 ms per message).
+    service_rate_msgs_per_ms: float = 0.5
+    #: Ingress queue bound; arrivals beyond it are shed (counted as
+    #: ``overflow`` drops, never silent).
+    ingress_queue_capacity: int = 64
+    #: Admission control + backpressure + circuit breaking: control
+    #: traffic (acks, anti-entropy, migration, maintenance) outranks
+    #: event traffic in the ingress queue; shed reliable event packets
+    #: are NACKed with ``ps_busy`` so the sender backs off exponentially
+    #: instead of retransmitting into a full queue; repeated busy /
+    #: timeout signals open a per-destination circuit breaker that
+    #: routes around the hot surrogate (half-opening on a probe).
+    #: Requires ``service_model`` and ``reliable_delivery``.
+    overload_protection: bool = False
+    #: Backoff multiplier per consecutive ``ps_busy`` from one packet
+    #: (delay = retransmit_timeout_ms * factor ** busy_count).
+    busy_backoff_factor: float = 2.0
+    #: Ceiling on the busy backoff delay (ms).
+    busy_backoff_max_ms: float = 30_000.0
+    #: Consecutive busy/timeout signals per destination that open its
+    #: circuit breaker.
+    breaker_failure_threshold: int = 3
+    #: How long an open breaker blocks a destination before half-opening
+    #: on a probe (ms).
+    breaker_open_ms: float = 5_000.0
+
     # -- piggybacked maintenance (extension; paper Section 6) ------------
     #: Attach the sender's ring state (own id, predecessor, first
     #: successor) to every event-delivery packet.  Receivers absorb it
@@ -168,6 +204,22 @@ class HyperSubConfig:
             raise ValueError("failover_max_attempts must be >= 1")
         if self.event_ttl_hops < 1:
             raise ValueError("event_ttl_hops must be >= 1")
+        if self.service_rate_msgs_per_ms <= 0:
+            raise ValueError("service_rate_msgs_per_ms must be positive")
+        if self.ingress_queue_capacity < 1:
+            raise ValueError("ingress_queue_capacity must be >= 1")
+        if self.overload_protection and not self.service_model:
+            raise ValueError("overload_protection requires service_model")
+        if self.overload_protection and not self.reliable_delivery:
+            raise ValueError("overload_protection requires reliable_delivery")
+        if self.busy_backoff_factor < 1.0:
+            raise ValueError("busy_backoff_factor must be >= 1")
+        if self.busy_backoff_max_ms <= 0:
+            raise ValueError("busy_backoff_max_ms must be positive")
+        if self.breaker_failure_threshold < 1:
+            raise ValueError("breaker_failure_threshold must be >= 1")
+        if self.breaker_open_ms <= 0:
+            raise ValueError("breaker_open_ms must be positive")
         if self.anti_entropy and self.replication_factor < 2:
             raise ValueError("anti_entropy requires replication_factor > 1")
         if self.anti_entropy_interval_ms <= 0:

@@ -30,10 +30,11 @@ import numpy as np
 from repro.core.matching import BoxStore
 from repro.core.subscription import SubID, Subscription
 from repro.core.summary import boxes_equal, child_pieces, merge_box
+from repro.core.overload import CircuitBreaker
 from repro.core.subscheme import PubSubEntity
 from repro.core.zones import ContentZone
 from repro.dht.chord import ChordNode
-from repro.dht.idspace import id_in_interval
+from repro.dht.idspace import cw_distance, id_in_interval
 from repro.dht.pastry import PastryNode
 from repro.sim.messages import (
     AE_DIGEST_ENTRY_BYTES,
@@ -143,11 +144,29 @@ class PubSubNodeMixin:
         self._rel_epoch = 0
         #: (sender addr, epoch, seq) already processed (dedup on ack loss)
         self._rel_seen: set = set()
+        #: (event_id, iid) already handed to the application.  The
+        #: packet-level dedup above is keyed on the packet's identity,
+        #: which hop-failover deliberately *changes* (the SubIDs are
+        #: re-grouped onto a fresh packet via an alternate route), so an
+        #: ack-lost-then-failed-over packet arrives twice under two
+        #: different keys.  Exactly-once at the application therefore
+        #: needs this subscriber-side guard as well.
+        self._delivered: set = set()
         #: relative node capacity (Section 4: "the value of the
         #: threshold factor delta for each node is based on the node's
         #: capacity"; the paper's runs assume 1.0 everywhere -- the
         #: heterogeneous evaluation it defers is experiment H1).
         self.capacity: float = 1.0
+        #: per-destination circuit breaker (overload-protection
+        #: extension); ``None`` when protection is off.
+        self.breaker: Optional[CircuitBreaker] = (
+            CircuitBreaker(
+                system.config.breaker_failure_threshold,
+                system.config.breaker_open_ms,
+            )
+            if system.config.overload_protection
+            else None
+        )
 
         #: anti-entropy re-replication loop state (self-healing extension)
         self._ae_running = False
@@ -166,6 +185,8 @@ class PubSubNodeMixin:
         self.register_handler("ps_unregister", self._on_ps_unregister)
         self.register_handler("ps_event", self._on_ps_event)
         self.register_handler("ps_event_ack", self._on_ps_event_ack)
+        self.register_handler("ps_busy", self._on_ps_busy)
+        self.register_handler("ps_storm", self._on_ps_storm)
         self.register_handler("ps_load_probe", self._on_load_probe)
         self.register_handler("ps_load_reply", self._on_load_reply)
         self.register_handler("ps_migrate", self._on_migrate)
@@ -1008,7 +1029,7 @@ class PubSubNodeMixin:
         msg.payload["rseq"] = seq
         if self._rel_epoch:
             msg.payload["repoch"] = self._rel_epoch
-        self._rel_pending[seq] = {
+        state = {
             "dst": msg.dst,
             "payload": msg.payload,
             "size": msg.size_bytes,
@@ -1016,10 +1037,14 @@ class PubSubNodeMixin:
             "path_latency": msg.path_latency,
             "root_time": msg.root_time,
             "retries": 0,
+            "busy": 0,
             "span": msg.span_id,
         }
+        self._rel_pending[seq] = state
         self.send(msg)
-        self.sim.schedule(
+        # The timer handle is kept so a ps_busy NACK can cancel it and
+        # reschedule with backoff (and so an ack kills the stub early).
+        state["timer"] = self.sim.schedule(
             self.system.config.retransmit_timeout_ms, self._rel_retry, seq
         )
 
@@ -1027,6 +1052,10 @@ class PubSubNodeMixin:
         state = self._rel_pending.get(seq)
         if state is None:
             return  # acked in time
+        if self.breaker is not None and self.breaker.record_failure(
+            state["dst"], self.sim.now
+        ):
+            self._note_breaker_open(state["dst"])
         if state["retries"] >= self.system.config.max_retries:
             del self._rel_pending[seq]
             # Hop presumed dead.  With hop-failover the pending SubIDs
@@ -1067,7 +1096,7 @@ class PubSubNodeMixin:
             state["payload"]["event_id"], state["size"]
         )
         self.send(clone)
-        self.sim.schedule(
+        state["timer"] = self.sim.schedule(
             self.system.config.retransmit_timeout_ms, self._rel_retry, seq
         )
 
@@ -1167,7 +1196,170 @@ class PubSubNodeMixin:
         )
 
     def _on_ps_event_ack(self, msg: Message) -> None:
-        self._rel_pending.pop(msg.payload["rseq"], None)
+        state = self._rel_pending.pop(msg.payload["rseq"], None)
+        if state is None:
+            return
+        timer = state.get("timer")
+        if timer is not None:
+            # Kill the stub now instead of letting it no-op later: keeps
+            # Simulator.live honest and the heap lean under load.
+            timer.cancel()
+        if self.breaker is not None:
+            self.breaker.record_success(state["dst"])
+
+    # ------------------------------------------------------------------
+    # Overload protection (bounded-ingress extension; docs/FAULTS.md)
+    # ------------------------------------------------------------------
+    #: Message kinds that may be shed under overload.  Everything else
+    #: (acks, anti-entropy, arc handoffs, migration, maintenance RPCs)
+    #: is control traffic and outranks events, so the system can keep
+    #: healing itself while saturated.
+    _SHEDDABLE_KINDS = frozenset({"ps_event", "ps_storm"})
+
+    def ingress_priority(self, msg: Message) -> int:
+        if not self.system.config.overload_protection:
+            return 1  # priority-blind FIFO: the unprotected baseline
+        return 1 if msg.kind in self._SHEDDABLE_KINDS else 0
+
+    def on_ingress_shed(self, msg: Message) -> None:
+        """A packet was shed from our full ingress queue (admission
+        control).  Shedding is never silent: a reliable event packet is
+        NACKed with ``ps_busy`` (the sender's copy stays pending, backs
+        off and retries), anything else that carried deliveries is
+        accounted exactly like a transport give-up."""
+        p = msg.payload if isinstance(msg.payload, dict) else None
+        protected = self.system.config.overload_protection
+        if protected:
+            self.network.stats.shed += 1
+        tel = self.system.telemetry
+        if tel is not None and tel.tracing:
+            event_id = p.get("event_id") if p is not None else None
+            tel.tracer.span(
+                "shed", t=self.sim.now, node=self.addr, event=event_id,
+                parent=msg.span_id, msg_kind=msg.kind, src=msg.src,
+            )
+        if p is None:
+            return
+        rseq = p.get("rseq")
+        if protected and rseq is not None and msg.src != self.addr:
+            self.send(
+                Message(
+                    src=self.addr, dst=msg.src, kind="ps_busy",
+                    payload={"rseq": rseq}, size_bytes=CONTROL_BYTES,
+                )
+            )
+        elif rseq is None and "event_id" in p:
+            # Fire-and-forget packet: nobody will retransmit it.
+            self._count_give_up(p, span=msg.span_id)
+
+    def _on_ps_busy(self, msg: Message) -> None:
+        """Backpressure NACK: the next hop shed our packet (queue full).
+
+        Unlike an ack timeout this is proof the hop is *alive*, so the
+        retransmission consumes no retry budget; it is rescheduled with
+        exponential backoff (doubling per consecutive busy, capped) so
+        senders drain a saturated queue instead of hammering it.
+        """
+        seq = msg.payload["rseq"]
+        state = self._rel_pending.get(seq)
+        if state is None:
+            return  # a duplicate was served meanwhile, or we gave up
+        state["busy"] += 1
+        self.network.stats.busy_backoffs += 1
+        if self.breaker is not None and self.breaker.record_failure(
+            msg.src, self.sim.now
+        ):
+            self._note_breaker_open(msg.src)
+        timer = state.get("timer")
+        if timer is not None:
+            timer.cancel()
+        cfg = self.system.config
+        delay = min(
+            cfg.retransmit_timeout_ms
+            * (cfg.busy_backoff_factor ** state["busy"]),
+            cfg.busy_backoff_max_ms,
+        )
+        tel = self.system.telemetry
+        if tel is not None and tel.tracing:
+            tel.tracer.span(
+                "busy",
+                t=self.sim.now,
+                node=self.addr,
+                event=state["payload"]["event_id"],
+                parent=state.get("span"),
+                dst=state["dst"],
+                backoff_ms=delay,
+            )
+        state["timer"] = self.sim.schedule(delay, self._rel_busy_resend, seq)
+
+    def _rel_busy_resend(self, seq: int) -> None:
+        state = self._rel_pending.get(seq)
+        if state is None:
+            return  # acked while backing off (an earlier copy was served)
+        if not self._alive:
+            del self._rel_pending[seq]
+            self._count_give_up(state["payload"], span=state.get("span"))
+            return
+        clone = Message(
+            src=self.addr,
+            dst=state["dst"],
+            kind="ps_event",
+            payload=state["payload"],
+            size_bytes=state["size"],
+            hops=state["hops"],
+            path_latency=state["path_latency"],
+            root_time=state["root_time"],
+            span_id=state.get("span"),
+        )
+        self.network.stats.retransmissions += 1
+        self.system.metrics.on_event_message(
+            state["payload"]["event_id"], state["size"]
+        )
+        self.send(clone)
+        state["timer"] = self.sim.schedule(
+            self.system.config.retransmit_timeout_ms, self._rel_retry, seq
+        )
+
+    def _note_breaker_open(self, dst: int) -> None:
+        self.network.stats.breaker_opens += 1
+        tel = self.system.telemetry
+        if tel is not None and tel.tracing:
+            tel.tracer.span(
+                "breaker_open", t=self.sim.now, node=self.addr, dst=dst
+            )
+
+    def _route_around(self, key: int, hot: int) -> Optional[int]:
+        """Open circuit to ``hot``: alternate routing entry for ``key``.
+
+        Reuses the hop-failover machinery's route diversity: any entry
+        strictly inside ``(self, key)`` still makes clockwise progress
+        without overshooting the home node (Chord's guarantee), so the
+        best such entry that avoids every open destination carries the
+        traffic around the hot surrogate.  ``None`` when no alternate
+        exists -- the caller then forwards to ``hot`` anyway, which
+        doubles as the breaker's half-open probe.
+        """
+        entries = getattr(self, "routing_entries", None)
+        if entries is None:  # pastry: no cw-progress certificate
+            return None
+        avoid = self.breaker.open_dsts(self.sim.now)
+        avoid.add(hot)
+        avoid.add(self.addr)
+        best = None
+        best_dist = -1
+        for ent_id, ent_addr in entries():
+            if ent_addr in avoid:
+                continue
+            if id_in_interval(ent_id, self.node_id, key):
+                d = cw_distance(self.node_id, ent_id)
+                if d > best_dist:
+                    best = ent_addr
+                    best_dist = d
+        return best
+
+    def _on_ps_storm(self, msg: Message) -> None:
+        """Synthetic storm traffic (``FaultSchedule.storm``): its entire
+        cost is the service time it consumed in the ingress queue."""
 
     def _on_ps_event(self, msg: Message) -> None:
         rseq = msg.payload.get("rseq")
@@ -1228,6 +1420,12 @@ class PubSubNodeMixin:
                     prof.add("algo5.route", perf_counter() - t0)
                 if nh is None:  # pragma: no cover - defensive
                     continue
+                if self.breaker is not None and not self.breaker.allow(
+                    nh, self.sim.now
+                ):
+                    alt = self._route_around(nid, nh)
+                    if alt is not None:
+                        nh = alt
                 groups.setdefault(nh, []).append((nid, iid))
 
         piggyback = None
@@ -1340,6 +1538,9 @@ class PubSubNodeMixin:
                 entity_key, sub, _zone = self.own_subs[iid]
                 if sub.scheme_name != scheme_name:  # pragma: no cover - defensive
                     return []
+                if (event_id, iid) in self._delivered:
+                    return []  # failover redelivery under a fresh packet
+                self._delivered.add((event_id, iid))
                 latency_ms = self.sim.now - msg.root_time
                 self.system.metrics.on_delivery(
                     event_id,

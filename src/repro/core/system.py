@@ -240,6 +240,10 @@ class HyperSubSystem:
                 node_factory=factory,
             )
 
+        if self.config.service_model:
+            for node in self.nodes:
+                self._apply_service_model(node)
+
         self.schemes: Dict[str, Scheme] = {}
         self._entities_by_scheme: Dict[str, List[PubSubEntity]] = {}
         self._entity_by_key: Dict[str, PubSubEntity] = {}
@@ -261,6 +265,12 @@ class HyperSubSystem:
             # EventRecord.edges in lockstep so both views agree.
             self.tracing = self.telemetry.tracing
             self.telemetry.attach_system(self)
+
+    def _apply_service_model(self, node) -> None:
+        """Switch ``node`` to finite service (bounded ingress queue,
+        configured service rate scaled by the node's capacity)."""
+        node.service_rate = self.config.service_rate_msgs_per_ms
+        node.queue_capacity = self.config.ingress_queue_capacity
 
     def _node_factory(self):
         cls = (
@@ -410,6 +420,13 @@ class HyperSubSystem:
             stats.bytes_for(("ps_ae_", "ps_handoff"))
         )
         reg.gauge("event.bytes").set(stats.bytes_for(("ps_event",)))
+        #: deepest ingress backlog across alive nodes right now (stays 0
+        #: under the seed's infinite-capacity delivery)
+        reg.gauge("queue.depth").set(
+            float(max((n.ingress_depth for n in self.nodes if n.alive()), default=0))
+        )
+        #: scheduler events still queued, net of cancelled stubs
+        reg.gauge("sim.live_events").set(float(self.sim.live))
         reg.sample_all(self.sim.now)
 
     # ------------------------------------------------------------------
@@ -446,6 +463,8 @@ class HyperSubSystem:
         if addr >= self.topology.size:
             raise ValueError("no reserved network addresses left")
         node = self._node_factory()(addr, self._all_ids[addr], self.network)
+        if self.config.service_model:
+            self._apply_service_model(node)
         self.nodes.append(node)
         self.ring.add(node.node_id, addr)
         node.join(self.nodes[bootstrap_addr])
@@ -476,6 +495,8 @@ class HyperSubSystem:
         node.own_subs = dict(old.own_subs)
         node._iid_counter = old._iid_counter
         node.capacity = old.capacity
+        if self.config.service_model:
+            self._apply_service_model(node)
         # New transport incarnation: peers hold (addr, epoch, rseq) dedup
         # entries from the previous life; restarting rseq at 0 under the
         # same epoch would make them ack-and-discard our first packets.

@@ -18,7 +18,10 @@ Primitives:
   protocol and resync their arcs (see ``HyperSubSystem.rejoin_node``);
 * ``partition(t0, t1, groups)`` -- a partition window that heals itself;
 * ``loss(t0, rate, until=t1)`` -- an i.i.d. message-loss window;
-* ``latency_spike(t0, t1, factor)`` -- links slow down by ``factor``.
+* ``latency_spike(t0, t1, factor)`` -- links slow down by ``factor``;
+* ``storm(t0, t1, addr, rate)`` -- flood ``addr`` with ``rate`` synthetic
+  packets per ms (overload injection; needs the finite service model to
+  have any observable effect -- see docs/FAULTS.md).
 
 Every action is applied through one dispatch point, so a schedule can
 be rendered (``describe()``) and replayed bit-identically.
@@ -44,6 +47,7 @@ _KINDS = (
     "clear_loss",
     "latency",
     "clear_latency",
+    "storm",
 )
 
 
@@ -59,10 +63,31 @@ class FaultAction:
     groups: Optional[tuple] = None
     #: loss probability (loss)
     rate: float = 0.0
-    #: latency multiplier (latency)
+    #: latency multiplier (latency) / flood rate in msgs/ms (storm)
     factor: float = 1.0
     #: rng seed for the loss process
     seed: int = 0
+    #: window end for self-terminating actions (storm)
+    until_ms: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        """Validate at build time -- a bad rate must fail when the
+        schedule is constructed, not hours into a run when it fires."""
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.time_ms < 0:
+            raise ValueError("fault times must be non-negative")
+        if self.kind == "loss" and not 0.0 <= self.rate < 1.0:
+            raise ValueError(f"loss rate must be in [0, 1), got {self.rate}")
+        if self.kind == "latency" and self.factor <= 0:
+            raise ValueError("latency factor must be positive")
+        if self.kind == "storm":
+            if self.factor <= 0:
+                raise ValueError("storm rate must be positive (msgs/ms)")
+            if len(self.addrs) != 1:
+                raise ValueError("storm targets exactly one address")
+            if self.until_ms is None or self.until_ms <= self.time_ms:
+                raise ValueError("storm window must have positive length")
 
     def describe(self) -> str:
         if self.kind in ("crash", "rejoin"):
@@ -73,6 +98,11 @@ class FaultAction:
             return f"t={self.time_ms:.0f}ms loss rate={self.rate:.3f}"
         if self.kind == "latency":
             return f"t={self.time_ms:.0f}ms latency x{self.factor:g}"
+        if self.kind == "storm":
+            return (
+                f"t={self.time_ms:.0f}ms storm addr={self.addrs[0]} "
+                f"rate={self.factor:g}/ms until={self.until_ms:.0f}ms"
+            )
         return f"t={self.time_ms:.0f}ms {self.kind}"
 
 
@@ -95,10 +125,8 @@ class FaultSchedule:
     # Builders
     # ------------------------------------------------------------------
     def _add(self, action: FaultAction) -> "FaultSchedule":
-        if action.kind not in _KINDS:  # pragma: no cover - internal guard
-            raise ValueError(f"unknown fault kind {action.kind!r}")
-        if action.time_ms < 0:
-            raise ValueError("fault times must be non-negative")
+        # Per-action validation lives in FaultAction.__post_init__ so
+        # directly constructed actions are checked too.
         self.actions.append(action)
         return self
 
@@ -131,8 +159,6 @@ class FaultSchedule:
         """Drop packets with probability ``rate`` from ``from_ms`` on;
         ``until_ms`` (exclusive) closes the window, ``None`` leaves it
         open for the rest of the run."""
-        if not 0.0 <= rate < 1.0:
-            raise ValueError("loss rate must be in [0, 1)")
         self._add(FaultAction(from_ms, "loss", rate=rate, seed=seed))
         if until_ms is not None:
             if until_ms <= from_ms:
@@ -150,6 +176,21 @@ class FaultSchedule:
             raise ValueError("latency factor must be positive")
         self._add(FaultAction(from_ms, "latency", factor=factor))
         return self._add(FaultAction(until_ms, "clear_latency"))
+
+    def storm(
+        self, from_ms: float, until_ms: float, addr: int, rate: float
+    ) -> "FaultSchedule":
+        """Flood ``addr`` with ``rate`` synthetic packets per ms during
+        [from_ms, until_ms).  The packets are pure load (pub/sub no-ops):
+        under the finite service model they saturate the victim's ingress
+        queue exactly like an event storm at a hot rendezvous zone; with
+        infinite capacity (the default) they are handled instantly and
+        the storm is invisible -- see docs/FAULTS.md."""
+        return self._add(
+            FaultAction(
+                from_ms, "storm", addrs=(addr,), factor=rate, until_ms=until_ms
+            )
+        )
 
     # ------------------------------------------------------------------
     # Generators
@@ -200,7 +241,8 @@ class FaultSchedule:
              {"at": 30000, "rejoin": [3, 7]},
              {"from": 1000, "to": 4000, "loss": 0.1, "seed": 9},
              {"from": 2000, "to": 6000, "partition": {0: 0, 1: 1}},
-             {"from": 8000, "to": 9000, "latency": 3.0}]
+             {"from": 8000, "to": 9000, "latency": 3.0},
+             {"from": 2000, "to": 12000, "storm": {"addr": 4, "rate": 5.0}}]
         """
         sched = cls()
         for entry in spec:
@@ -228,6 +270,10 @@ class FaultSchedule:
                 if t0 is None or t1 is None:
                     raise ValueError("latency needs 'from' and 'to'")
                 sched.latency_spike(t0, t1, value)
+            elif key == "storm":
+                if t0 is None or t1 is None:
+                    raise ValueError("storm needs 'from' and 'to'")
+                sched.storm(t0, t1, int(value["addr"]), float(value["rate"]))
             else:
                 raise ValueError(f"unknown fault key {key!r}")
         return sched
@@ -275,8 +321,10 @@ class FaultSchedule:
             net.clear_loss()
         elif action.kind == "latency":
             net.set_latency_factor(action.factor)
-        elif action.kind == "clear_latency":  # pragma: no branch
+        elif action.kind == "clear_latency":
             net.clear_latency_factor()
+        elif action.kind == "storm":  # pragma: no branch
+            net.start_storm(action.addrs[0], action.factor, action.until_ms)
 
     # ------------------------------------------------------------------
     def describe(self) -> str:

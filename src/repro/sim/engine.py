@@ -19,19 +19,30 @@ class EventHandle:
     """Cancellation token returned by :meth:`Simulator.schedule`.
 
     Cancelling does not remove the heap entry (that would be O(n)); the
-    entry is skipped when popped.
+    entry is skipped when popped.  The owning simulator keeps a live
+    count (:attr:`Simulator.live`) in sync: cancelling before the event
+    fires decrements it exactly once.
     """
 
-    __slots__ = ("time", "seq", "cancelled")
+    __slots__ = ("time", "seq", "cancelled", "_done", "_sim")
 
-    def __init__(self, time: float, seq: int) -> None:
+    def __init__(
+        self, time: float, seq: int, sim: Optional["Simulator"] = None
+    ) -> None:
         self.time = time
         self.seq = seq
         self.cancelled = False
+        self._done = False
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent the callback from firing.  Idempotent."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if not self._done and self._sim is not None:
+            self._sim._live -= 1
+            self._done = True
 
 
 class RepeatingHandle:
@@ -67,6 +78,7 @@ class Simulator:
         self._now: float = 0.0
         self._seq: int = 0
         self._processed: int = 0
+        self._live: int = 0
 
     # ------------------------------------------------------------------
     # Introspection
@@ -78,8 +90,20 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of events still queued (including cancelled stubs)."""
+        """Raw heap size, *including* cancelled stubs (cancellation
+        leaves the entry in place and skips it at pop).  For "how much
+        work is actually left" use :attr:`live`."""
         return len(self._queue)
+
+    @property
+    def live(self) -> int:
+        """Number of events still queued, excluding cancelled stubs.
+
+        ``pending`` overstates remaining work whenever timers were
+        cancelled (every acked reliable packet leaves one stub); this is
+        the honest count for progress displays and telemetry sampling.
+        """
+        return self._live
 
     @property
     def processed(self) -> int:
@@ -99,9 +123,10 @@ class Simulator:
         """Run ``fn(*args)`` at absolute simulated time ``time``."""
         if time < self._now:
             raise ValueError(f"cannot schedule in the past: {time} < {self._now}")
-        handle = EventHandle(time, self._seq)
+        handle = EventHandle(time, self._seq, self)
         heapq.heappush(self._queue, (time, self._seq, handle, fn, args))
         self._seq += 1
+        self._live += 1
         return handle
 
     def schedule_every(
@@ -146,6 +171,8 @@ class Simulator:
             time, _seq, handle, fn, args = heapq.heappop(self._queue)
             if handle.cancelled:
                 continue
+            handle._done = True
+            self._live -= 1
             self._now = time
             fn(*args)
             self._processed += 1
@@ -175,6 +202,8 @@ class Simulator:
             heapq.heappop(self._queue)
             if handle.cancelled:
                 continue
+            handle._done = True
+            self._live -= 1
             self._now = time
             fn(*args)
             self._processed += 1

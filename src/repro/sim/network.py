@@ -1,18 +1,29 @@
 """Packet-level message fabric.
 
 ``Network.send`` charges bandwidth, looks up the one-way latency from
-the topology and schedules ``handle_message`` on the destination node.
-Protocol layers (DHT, pub/sub, baselines) never talk to the scheduler
-directly for messaging -- everything goes through here so byte and hop
+the topology and schedules delivery on the destination node.  Protocol
+layers (DHT, pub/sub, baselines) never talk to the scheduler directly
+for messaging -- everything goes through here so byte and hop
 accounting stay consistent across systems being compared.
+
+Delivery has two modes per node:
+
+* **infinite capacity** (the seed's behaviour, and the default):
+  ``handle_message`` runs the instant the packet arrives;
+* **finite service** (overload extension): the packet joins the node's
+  bounded ingress queue and is handled when the service loop reaches
+  it, one message every ``1 / (service_rate * capacity)`` ms.  A full
+  queue sheds (see :meth:`SimNode.enqueue`); every drop is counted by
+  cause in :class:`~repro.sim.stats.NetworkStats`.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Dict, Optional
 
-from repro.sim.engine import Simulator
-from repro.sim.messages import Message
+from repro.sim.engine import RepeatingHandle, Simulator
+from repro.sim.messages import Message, event_message_bytes
 from repro.sim.stats import NetworkStats
 from repro.sim.topology import Topology
 
@@ -28,6 +39,21 @@ class SimNode:
     def __init__(self, addr: int, network: "Network") -> None:
         self.addr = addr
         self.network = network
+        #: relative processing capacity (the heterogeneous-capacity
+        #: ratio of Section 4); scales the service rate.
+        self.capacity: float = 1.0
+        #: finite-service model: messages handled per ms per unit
+        #: capacity.  ``None`` keeps the seed's infinite capacity.
+        self.service_rate: Optional[float] = None
+        #: bound on the ingress queue (``None`` = unbounded).
+        self.queue_capacity: Optional[int] = None
+        #: two-band ingress queue: band 0 (control) is served before
+        #: band 1 (bulk/event) -- see :meth:`ingress_priority`.
+        self._ingress_hi: deque = deque()
+        self._ingress_lo: deque = deque()
+        self._serving = False
+        #: high-water mark of the ingress depth over the node's life.
+        self.ingress_peak = 0
         network.register(self)
 
     @property
@@ -47,6 +73,75 @@ class SimNode:
         """Churn hook; dead nodes drop incoming packets."""
         return True
 
+    # ------------------------------------------------------------------
+    # Finite-service ingress (overload extension)
+    # ------------------------------------------------------------------
+    @property
+    def ingress_depth(self) -> int:
+        """Messages currently waiting in the ingress queue."""
+        return len(self._ingress_hi) + len(self._ingress_lo)
+
+    def ingress_priority(self, msg: Message) -> int:
+        """Admission band for ``msg``: 0 = control (served first, never
+        shed while bulk traffic can be evicted instead), 1 = bulk.  The
+        base fabric is priority-blind; protocol nodes override this
+        (``PubSubNodeMixin`` ranks acks/repair/migration above events
+        when overload protection is on)."""
+        return 1
+
+    def on_ingress_shed(self, msg: Message) -> None:
+        """Hook: ``msg`` was shed on queue overflow (already counted as
+        an ``overflow`` drop).  Protocol nodes override this to NACK the
+        sender / account the loss; the base fabric just drops."""
+
+    def enqueue(self, msg: Message) -> None:
+        """Admit ``msg`` to the bounded ingress queue.
+
+        On overflow the lowest-value victim is shed: an arriving bulk
+        message is rejected outright, while an arriving control message
+        evicts the *newest* queued bulk message (control outranks
+        events).  Every shed packet is counted (``net.dropped.overflow``)
+        and reported through :meth:`on_ingress_shed` -- never silent.
+        """
+        hi = self.ingress_priority(msg) == 0
+        cap = self.queue_capacity
+        if cap is not None and self.ingress_depth >= cap:
+            if hi and self._ingress_lo:
+                victim = self._ingress_lo.pop()
+            else:
+                victim = msg
+            self.network.stats.record_drop("overflow")
+            self.on_ingress_shed(victim)
+            if victim is msg:
+                self._pump()
+                return
+        (self._ingress_hi if hi else self._ingress_lo).append(msg)
+        depth = self.ingress_depth
+        if depth > self.ingress_peak:
+            self.ingress_peak = depth
+        self._pump()
+
+    def _pump(self) -> None:
+        if self._serving or not (self._ingress_hi or self._ingress_lo):
+            return
+        self._serving = True
+        rate = self.service_rate * max(self.capacity, 1e-9)
+        self.sim.schedule(1.0 / rate, self._service_one)
+
+    def _service_one(self) -> None:
+        self._serving = False
+        if not self.alive():
+            # Crash with queued work: the backlog dies with the node.
+            while self._ingress_hi or self._ingress_lo:
+                q = self._ingress_hi or self._ingress_lo
+                q.popleft()
+                self.network.stats.record_drop("dead_dst")
+            return
+        q = self._ingress_hi if self._ingress_hi else self._ingress_lo
+        if q:
+            self.handle_message(q.popleft())
+        self._pump()
+
 
 class Network:
     """Delivers messages between registered :class:`SimNode` instances."""
@@ -63,10 +158,6 @@ class Network:
         self.stats = stats or NetworkStats(topology.size)
         self.local_delivery_delay_ms = local_delivery_delay_ms
         self._nodes: Dict[int, SimNode] = {}
-        #: packets that never reached a live handler (dead destination,
-        #: injected loss, partition).  Registry-backed so the count lands
-        #: in telemetry manifests; the attribute API is unchanged.
-        self._c_dropped = self.stats.registry.counter("net.dropped")
         # -- failure injection ------------------------------------------
         self._loss_rate = 0.0
         self._loss_rng = None
@@ -75,11 +166,13 @@ class Network:
 
     @property
     def dropped(self) -> int:
-        return int(self._c_dropped.value)
+        """Packets that never reached a live handler (all causes); the
+        per-cause split is ``stats.dropped_by_cause``."""
+        return self.stats.dropped
 
     @dropped.setter
     def dropped(self, value: int) -> None:
-        self._c_dropped.value = float(value)
+        self.stats.dropped = value
 
     # ------------------------------------------------------------------
     # Failure injection
@@ -119,13 +212,57 @@ class Network:
         """Heal a latency spike: restore nominal link latencies."""
         self._latency_factor = 1.0
 
-    def _injected_failure(self, msg: Message) -> bool:
+    def start_storm(
+        self,
+        addr: int,
+        rate_msgs_per_ms: float,
+        until_ms: float,
+        size_bytes: Optional[int] = None,
+    ) -> RepeatingHandle:
+        """Flood ``addr`` with synthetic ``ps_storm`` packets.
+
+        One packet enters ``addr``'s ingress every ``1 / rate`` ms until
+        ``until_ms`` (exclusive).  The packets are pure load -- the
+        pub/sub layer handles them as no-ops -- so their only effect is
+        the service time they consume, which is exactly what an event
+        storm at a hot rendezvous zone looks like from the victim's
+        queue.  Returns the repeating handle (cancel to end early).
+        """
+        if rate_msgs_per_ms <= 0:
+            raise ValueError("storm rate must be positive (msgs/ms)")
+        if size_bytes is None:
+            size_bytes = event_message_bytes(1)
+        return self.sim.schedule_every(
+            1.0 / rate_msgs_per_ms,
+            self._storm_tick,
+            addr,
+            size_bytes,
+            until=until_ms,
+        )
+
+    def _storm_tick(self, addr: int, size_bytes: int) -> None:
+        node = self._nodes.get(addr)
+        if node is None or not node.alive():
+            return
+        msg = Message(
+            src=addr,
+            dst=addr,
+            kind="ps_storm",
+            payload=None,
+            size_bytes=size_bytes,
+            root_time=self.sim.now,
+        )
+        self.stats.record_send(addr, addr, "ps_storm", size_bytes)
+        self._deliver(msg, 0.0)
+
+    def _injected_failure(self, msg: Message) -> Optional[str]:
+        """Drop cause for an injected fault, or ``None`` to deliver."""
         if self._partition is not None:
             if self._partition.get(msg.src, 0) != self._partition.get(msg.dst, 0):
-                return True
+                return "partition"
         if self._loss_rng is not None and self._loss_rng.random() < self._loss_rate:
-            return True
-        return False
+            return "loss"
+        return None
 
     # ------------------------------------------------------------------
     def register(self, node: SimNode) -> None:
@@ -158,15 +295,16 @@ class Network:
         network byte counters -- the paper measures network bandwidth.
         """
         if msg.dst not in self._nodes:
-            self.dropped += 1
+            self.stats.record_drop("dead_dst")
             return
         if msg.src == msg.dst:
             self.sim.schedule(self.local_delivery_delay_ms, self._deliver, msg, 0.0)
             return
-        if self._injected_failure(msg):
+        cause = self._injected_failure(msg)
+        if cause is not None:
             # The sender did transmit: bytes are still charged.
             self.stats.record_send(msg.src, msg.dst, msg.kind, msg.size_bytes)
-            self.dropped += 1
+            self.stats.record_drop(cause)
             return
         self.stats.record_send(msg.src, msg.dst, msg.kind, msg.size_bytes)
         latency = self.topology.latency_ms(msg.src, msg.dst) * self._latency_factor
@@ -175,9 +313,12 @@ class Network:
     def _deliver(self, msg: Message, latency: float) -> None:
         node = self._nodes.get(msg.dst)
         if node is None or not node.alive():
-            self.dropped += 1
+            self.stats.record_drop("dead_dst")
             return
         if msg.src != msg.dst:
             msg.hops += 1
             msg.path_latency += latency
-        node.handle_message(msg)
+        if node.service_rate is None:
+            node.handle_message(msg)
+        else:
+            node.enqueue(msg)

@@ -20,6 +20,15 @@ import numpy as np
 
 from repro.telemetry.registry import MetricsRegistry
 
+#: Why a packet never reached a live handler.  ``dead_dst`` -- the
+#: destination is unregistered or crashed; ``loss`` -- i.i.d. injected
+#: message loss; ``partition`` -- src and dst are in different partition
+#: groups; ``overflow`` -- the destination's bounded ingress queue was
+#: full (finite-service model).  One aggregate ``net.dropped`` hid which
+#: fault dropped a packet; the per-cause split keeps each mechanism's
+#: contribution visible in ``transport_summary`` and the run manifest.
+DROP_CAUSES = ("dead_dst", "loss", "partition", "overflow")
+
 
 class Counter:
     """A named monotonically-increasing tally."""
@@ -74,6 +83,26 @@ class NetworkStats:
         self._c_gave_up = self.registry.counter("transport.gave_up")
         #: SubIDs riding on abandoned packets (deliveries at risk).
         self._c_gave_up_subids = self.registry.counter("transport.gave_up_subids")
+        #: ``ps_busy`` NACKs honoured by senders (overload backpressure:
+        #: each one rescheduled a retransmission with exponential backoff
+        #: instead of consuming the retry budget).
+        self._c_busy = self.registry.counter("transport.busy_backoffs")
+        #: packets that never reached a live handler, total and by cause.
+        self._c_dropped = self.registry.counter("net.dropped")
+        self._c_drop_cause = {
+            cause: self.registry.counter(f"net.dropped.{cause}")
+            for cause in DROP_CAUSES
+        }
+        #: event packets deliberately shed by admission control (each one
+        #: was NACKed with ``ps_busy`` or accounted as a give-up -- never
+        #: silently lost, mirroring the ``gave_up`` discipline).
+        self._c_shed = self.registry.counter("faults.shed")
+        #: circuit-breaker transitions to the open state (per node+dst).
+        self._c_breaker_open = self.registry.counter("breaker.open")
+        # Eagerly create the queue-depth gauge so every pub/sub run's
+        # manifest carries it (REQUIRED_METRICS), even before the first
+        # sample_telemetry() call.
+        self.registry.gauge("queue.depth")
 
     # -- registry-backed counter attributes -----------------------------
     @property
@@ -100,6 +129,50 @@ class NetworkStats:
     def gave_up_subids(self, value: int) -> None:
         self._c_gave_up_subids.value = float(value)
 
+    @property
+    def busy_backoffs(self) -> int:
+        return int(self._c_busy.value)
+
+    @busy_backoffs.setter
+    def busy_backoffs(self, value: int) -> None:
+        self._c_busy.value = float(value)
+
+    @property
+    def shed(self) -> int:
+        return int(self._c_shed.value)
+
+    @shed.setter
+    def shed(self, value: int) -> None:
+        self._c_shed.value = float(value)
+
+    @property
+    def breaker_opens(self) -> int:
+        return int(self._c_breaker_open.value)
+
+    @breaker_opens.setter
+    def breaker_opens(self, value: int) -> None:
+        self._c_breaker_open.value = float(value)
+
+    @property
+    def dropped(self) -> int:
+        return int(self._c_dropped.value)
+
+    @dropped.setter
+    def dropped(self, value: int) -> None:
+        self._c_dropped.value = float(value)
+
+    @property
+    def dropped_by_cause(self) -> Dict[str, int]:
+        """``{cause: count}`` over :data:`DROP_CAUSES` (all keys present)."""
+        return {
+            cause: int(ctr.value) for cause, ctr in self._c_drop_cause.items()
+        }
+
+    def record_drop(self, cause: str) -> None:
+        """Account one dropped packet under ``cause`` (see DROP_CAUSES)."""
+        self._c_dropped.inc()
+        self._c_drop_cause[cause].inc()
+
     def record_send(self, src: int, dst: int, kind: str, size_bytes: int) -> None:
         self.out_bytes[src] += size_bytes
         self.out_msgs[src] += 1
@@ -125,6 +198,9 @@ class NetworkStats:
         self.bytes_by_kind.clear()
         self.msgs_by_kind.clear()
         self.registry.reset("transport.")
+        self.registry.reset("net.dropped")
+        self.registry.reset("faults.shed")
+        self.registry.reset("breaker.open")
 
     def bytes_for(self, prefixes: Iterable[str]) -> float:
         """Total bytes over all message kinds matching any prefix

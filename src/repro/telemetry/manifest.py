@@ -30,6 +30,10 @@ REQUIRED_METRICS = (
     "repair.bytes",
     "node.load_imbalance",
     "zone.occupancy",
+    "net.dropped",
+    "faults.shed",
+    "breaker.open",
+    "queue.depth",
 )
 
 #: Top-level keys ``validate_manifest`` insists on.

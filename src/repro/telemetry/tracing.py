@@ -25,6 +25,12 @@ Span kinds emitted by the stack:
 ``ae_digest``   anti-entropy digest offered to a standby peer
 ``ae_fill``     anti-entropy diff shipped back to the primary
 ``fault``       a :class:`~repro.faults.FaultSchedule` action fired
+``shed``        admission control shed a packet from a full ingress
+                queue (attrs: ``msg_kind``, ``src``)
+``busy``        a sender honoured a ``ps_busy`` NACK (attrs: ``dst``,
+                ``backoff_ms``)
+``breaker_open``  a per-destination circuit breaker opened
+                (attrs: ``dst``); policy in docs/FAULTS.md
 ==============  ======================================================
 
 ``forward`` spans double as the dissemination-tree edge store:

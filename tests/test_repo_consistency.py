@@ -81,7 +81,8 @@ class TestExperimentsDoc:
 
     def test_required_docs_exist(self):
         for name in ("README.md", "DESIGN.md", "EXPERIMENTS.md",
-                     "docs/ALGORITHMS.md", "docs/SIMULATOR.md"):
+                     "docs/ALGORITHMS.md", "docs/SIMULATOR.md",
+                     "docs/FAULTS.md", "docs/OBSERVABILITY.md"):
             assert (REPO / name).exists(), name
 
 

@@ -151,3 +151,49 @@ def test_zero_delay_events_run_after_current_callback():
     sim.run()
     # Chained zero-delay event fires at the same time but later sequence.
     assert order == ["first", "second", "chained"]
+
+
+def test_live_count_excludes_cancelled_stubs():
+    """``pending`` counts raw heap entries (cancelled stubs included);
+    ``live`` is the number of events that will actually fire."""
+    sim = Simulator()
+    handles = [sim.schedule(float(i + 1), lambda: None) for i in range(5)]
+    assert sim.pending == 5
+    assert sim.live == 5
+    handles[0].cancel()
+    handles[3].cancel()
+    assert sim.pending == 5  # stubs stay in the heap until popped
+    assert sim.live == 3
+
+
+def test_live_count_decrements_as_events_fire():
+    sim = Simulator()
+    for i in range(3):
+        sim.schedule(float(i + 1), lambda: None)
+    sim.step()
+    assert sim.live == 2
+    sim.run()
+    assert sim.live == 0
+    assert sim.pending == 0
+
+
+def test_cancel_after_fire_does_not_double_count():
+    """Cancelling a handle whose event already executed must not drive
+    ``live`` negative (late cancels are common for ack timers)."""
+    sim = Simulator()
+    h = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    sim.step()  # fires h
+    h.cancel()
+    h.cancel()
+    assert sim.live == 1
+
+
+def test_live_tracks_nested_scheduling():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: sim.schedule(1.0, lambda: None))
+    assert sim.live == 1
+    sim.step()
+    assert sim.live == 1  # the nested event replaced the fired one
+    sim.run()
+    assert sim.live == 0
