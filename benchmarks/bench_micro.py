@@ -107,6 +107,74 @@ def test_chord_next_hop_routing(benchmark):
     benchmark(run)
 
 
+def _build_1024_ring():
+    sim = Simulator()
+    net = Network(sim, ConstantTopology(1024, rtt=100.0))
+    nodes, _ring = build_chord_overlay(net, seed=4)
+    rng = random.Random(0)
+    keys = [rng.getrandbits(64) for _ in range(200)]
+    return nodes, keys
+
+
+def _linear_next_hop(node, key):
+    """``next_hop_addr`` as it was before the sorted routing snapshot."""
+    if node.is_responsible(key):
+        return None
+    if not node.successors:
+        return None
+    succ_id, succ_addr = node.successors[0]
+    from repro.dht.idspace import id_in_interval
+
+    if id_in_interval(key, node.node_id, succ_id, incl_right=True):
+        return succ_addr
+    best = node._closest_preceding_linear(key)
+    return best[1] if best is not None else succ_addr
+
+
+def test_chord_next_hop_1024_bisect(benchmark):
+    """Snapshot router on a 1024-node ring (chain-walk to the home node).
+
+    Compare against ``test_chord_next_hop_1024_linear_baseline``: the
+    acceptance gate for the snapshot work is a >= 3x per-call speedup.
+    """
+    nodes, keys = _build_1024_ring()
+    for node in nodes:  # warm snapshots: steady-state is what we measure
+        node.routing_snapshot()
+
+    def run():
+        hops = 0
+        for key in keys:
+            cur = nodes[0]
+            while True:
+                nh = cur.next_hop_addr(key)
+                if nh is None:
+                    break
+                cur = nodes[nh]
+                hops += 1
+        return hops
+
+    benchmark(run)
+
+
+def test_chord_next_hop_1024_linear_baseline(benchmark):
+    """The pre-snapshot linear scan on the identical ring and keys."""
+    nodes, keys = _build_1024_ring()
+
+    def run():
+        hops = 0
+        for key in keys:
+            cur = nodes[0]
+            while True:
+                nh = _linear_next_hop(cur, key)
+                if nh is None:
+                    break
+                cur = nodes[nh]
+                hops += 1
+        return hops
+
+    benchmark(run)
+
+
 def test_chord_overlay_build_1000_nodes_pns(benchmark):
     topo = KingLikeTopology(1000, seed=5)
 

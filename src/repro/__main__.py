@@ -64,8 +64,9 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "list", "trace"],
-        help="experiment id (see `list`), or `trace` to inspect a trace",
+        choices=sorted(EXPERIMENTS) + ["all", "bench", "list", "trace"],
+        help="experiment id (see `list`), `bench` for the tracked perf "
+        "harness, or `trace` to inspect a trace",
     )
     parser.add_argument(
         "--scale",
@@ -96,6 +97,12 @@ def main(argv=None) -> int:
         action="store_true",
         help="(trace) emit the event's raw spans as JSON",
     )
+    parser.add_argument(
+        "--out",
+        metavar="FILE",
+        default="BENCH_hotpath.json",
+        help="(bench) where to write the results JSON",
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "trace":
@@ -105,6 +112,11 @@ def main(argv=None) -> int:
         args.scale = "quick"
     if args.scale:
         os.environ["REPRO_SCALE"] = args.scale
+
+    if args.experiment == "bench":
+        from repro.bench import run_bench
+
+        return run_bench(args.out, telemetry_dir=args.telemetry_out)
 
     if args.experiment == "list":
         for name in RUN_ORDER:

@@ -1,0 +1,330 @@
+"""Tracked perf-regression harness: ``python -m repro bench``.
+
+The micro-benchmarks under ``benchmarks/`` give statistically careful
+per-operation timings, but nothing *records* them: the perf trajectory
+of the hot paths was invisible across PRs.  This module is the tracked
+counterpart -- it times the same hot paths (scheduler dispatch, Chord
+next-hop routing, local matching), runs one fig2-shaped macro delivery
+with the telemetry profiler on, and writes everything to
+``BENCH_hotpath.json`` (see docs/PERFORMANCE.md for how to read it).
+
+CI's ``bench-smoke`` job runs ``python -m repro bench --quick``,
+uploads the JSON as an artifact and fails the build when a floor check
+fails -- so a routing or scheduler regression shows up as a red build,
+not as a mysteriously slower ``fig5`` three PRs later.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import random
+import sys
+import time
+from time import perf_counter
+from typing import Any, Dict, Optional
+
+#: Version tag for downstream readers of BENCH_hotpath.json.
+SCHEMA = "repro-bench/1"
+
+#: Conservative floor for scheduler throughput (events/sec).  A shared
+#: CI runner is easily 5x slower than a laptop; the floor only has to
+#: catch order-of-magnitude regressions (an accidental O(n) heap scan).
+SCHEDULER_FLOOR_OPS = 50_000.0
+
+#: The snapshot router must stay well ahead of the linear scan it
+#: replaced (acceptance gate of the routing rework; measured ~30x).
+ROUTING_SPEEDUP_FLOOR = 3.0
+
+
+# ----------------------------------------------------------------------
+# Micro benchmarks
+# ----------------------------------------------------------------------
+def _bench_scheduler(events: int = 20_000, repeat: int = 3) -> Dict[str, Any]:
+    """Schedule+dispatch throughput of chained callbacks."""
+    from repro.sim.engine import Simulator
+
+    best = float("inf")
+    for _ in range(repeat):
+        sim = Simulator()
+        remaining = [events]
+
+        def tick() -> None:
+            remaining[0] -= 1
+            if remaining[0] > 0:
+                sim.schedule(1.0, tick)
+
+        t0 = perf_counter()
+        sim.schedule(0.0, tick)
+        sim.run()
+        best = min(best, perf_counter() - t0)
+    return {
+        "events": events,
+        "best_seconds": best,
+        "ops_per_sec": events / best,
+    }
+
+
+def _bench_routing(
+    ring_nodes: int = 1024,
+    chain_keys: int = 200,
+    point_keys: int = 20_000,
+    repeat: int = 3,
+) -> Dict[str, Any]:
+    """Chord next-hop routing on a stabilised ring.
+
+    Two views: per-call ``_closest_preceding`` (bisect snapshot) against
+    the reference linear scan, and the end-to-end chain walk every event
+    hop performs (``next_hop_addr`` until the home node answers).
+    """
+    from repro.dht.chord import build_chord_overlay
+    from repro.sim.engine import Simulator
+    from repro.sim.network import Network
+    from repro.sim.topology import ConstantTopology
+
+    sim = Simulator()
+    net = Network(sim, ConstantTopology(ring_nodes, rtt=100.0))
+    nodes, _ring = build_chord_overlay(net, seed=4)
+    rng = random.Random(0)
+    keys = [rng.getrandbits(64) for _ in range(chain_keys)]
+    for node in nodes:  # steady state: snapshots warm
+        node.routing_snapshot()
+
+    # -- per-call: bisect vs reference linear scan ---------------------
+    probe = nodes[0]
+    pkeys = [rng.getrandbits(64) for _ in range(point_keys)]
+    bisect_s = float("inf")
+    linear_s = float("inf")
+    for _ in range(repeat):
+        t0 = perf_counter()
+        for k in pkeys:
+            probe._closest_preceding(k)
+        bisect_s = min(bisect_s, perf_counter() - t0)
+        t0 = perf_counter()
+        for k in pkeys:
+            probe._closest_preceding_linear(k)
+        linear_s = min(linear_s, perf_counter() - t0)
+
+    # -- end to end: chain-walk every key to its home node -------------
+    def walk() -> int:
+        hops = 0
+        for key in keys:
+            cur = nodes[0]
+            while True:
+                nh = cur.next_hop_addr(key)
+                if nh is None:
+                    break
+                cur = nodes[nh]
+                hops += 1
+        return hops
+
+    hops = walk()
+    chain_s = float("inf")
+    for _ in range(repeat):
+        t0 = perf_counter()
+        walk()
+        chain_s = min(chain_s, perf_counter() - t0)
+
+    return {
+        "ring_nodes": ring_nodes,
+        "bisect_us_per_call": bisect_s / point_keys * 1e6,
+        "linear_us_per_call": linear_s / point_keys * 1e6,
+        "closest_preceding_speedup": linear_s / bisect_s,
+        "chain_keys": chain_keys,
+        "chain_hops": hops,
+        "next_hop_ops_per_sec": hops / chain_s,
+    }
+
+
+def _bench_matching(
+    boxes: int = 2_000, points: int = 200, repeat: int = 3
+) -> Dict[str, Any]:
+    """Local event matching: linear BoxStore vs the grid index."""
+    import numpy as np
+
+    from repro.core.indexing import GridIndex
+    from repro.core.matching import BoxStore
+    from repro.core.subscription import SubID
+
+    rng = np.random.default_rng(3)
+    lows = rng.uniform(0, 9_000, (boxes, 4))
+    highs = lows + rng.uniform(10, 500, (boxes, 4))
+    pts = rng.uniform(0, 10_000, (points, 4))
+
+    linear = BoxStore(4)
+    grid = GridIndex(4, np.zeros(4), np.full(4, 10_000.0), cells_per_dim=32)
+    for i in range(boxes):
+        linear.put(SubID(i, 1), lows[i], highs[i])
+        grid.put(SubID(i, 1), lows[i], highs[i])
+
+    def run(store) -> float:
+        best = float("inf")
+        for _ in range(repeat):
+            t0 = perf_counter()
+            for p in pts:
+                store.match_point(p)
+            best = min(best, perf_counter() - t0)
+        return best
+
+    linear_s = run(linear)
+    grid_s = run(grid)
+    return {
+        "boxes": boxes,
+        "points": points,
+        "linear_ops_per_sec": points / linear_s,
+        "grid_ops_per_sec": points / grid_s,
+        "grid_speedup": linear_s / grid_s,
+    }
+
+
+# ----------------------------------------------------------------------
+# Macro benchmark (fig2-shaped delivery run, profiler on)
+# ----------------------------------------------------------------------
+def _run_macro_once(
+    num_nodes: int, num_events: int, route_cache: bool, out_dir: str
+) -> Dict[str, Any]:
+    from repro.core.config import HyperSubConfig
+    from repro.core.system import HyperSubSystem
+    from repro.telemetry import telemetry_session
+    from repro.workloads import WorkloadGenerator, default_paper_spec
+
+    label = "bench-macro" + ("" if route_cache else "-nocache")
+    with telemetry_session(
+        os.path.join(out_dir, label), label=label,
+        tracing=False, profiling=True,
+    ) as tel:
+        cfg = HyperSubConfig(route_cache=route_cache, seed=1)
+        system = HyperSubSystem(num_nodes=num_nodes, config=cfg)
+        gen = WorkloadGenerator(
+            default_paper_spec(subs_per_node=10), seed=7
+        )
+        system.add_scheme(gen.scheme)
+        gen.populate(system)
+        system.finish_setup()
+        gen.schedule_events(system, count=num_events)
+        t0 = perf_counter()
+        system.run_until_idle()
+        wall = perf_counter() - t0
+        profile = tel.profiler.summary()
+        rc = system.route_cache_stats()
+        deliveries = sum(
+            r.matched for r in system.metrics.records.values()
+        )
+    return {
+        "route_cache": route_cache,
+        "wall_seconds": wall,
+        "events_per_sec": num_events / wall,
+        "deliveries": deliveries,
+        "route_cache_stats": rc,
+        "profile": {
+            k: v for k, v in profile.items() if k.startswith("algo5.")
+        },
+    }
+
+
+def _bench_macro(num_nodes: int, num_events: int, out_dir: str) -> Dict[str, Any]:
+    on = _run_macro_once(num_nodes, num_events, True, out_dir)
+    off = _run_macro_once(num_nodes, num_events, False, out_dir)
+    if on["deliveries"] != off["deliveries"]:
+        raise AssertionError(
+            "route cache changed delivery results: "
+            f"{on['deliveries']} (on) vs {off['deliveries']} (off)"
+        )
+    return {
+        "num_nodes": num_nodes,
+        "num_events": num_events,
+        "cache_on": on,
+        "cache_off": off,
+        "wall_improvement": off["wall_seconds"] / on["wall_seconds"],
+    }
+
+
+# ----------------------------------------------------------------------
+# Validation (the CI gate)
+# ----------------------------------------------------------------------
+def validate_bench(data: Dict[str, Any]) -> Dict[str, bool]:
+    """Floor checks; every value must be True for the build to pass."""
+    micro = data["micro"]
+    macro = data["macro"]
+    return {
+        "scheduler_floor": (
+            micro["scheduler"]["ops_per_sec"] >= SCHEDULER_FLOOR_OPS
+        ),
+        "routing_speedup": (
+            micro["routing"]["closest_preceding_speedup"]
+            >= ROUTING_SPEEDUP_FLOOR
+        ),
+        "route_cache_hits": (
+            macro["cache_on"]["route_cache_stats"]["hit_rate"] > 0.0
+        ),
+        "deliveries_unchanged": (
+            macro["cache_on"]["deliveries"] == macro["cache_off"]["deliveries"]
+        ),
+    }
+
+
+# ----------------------------------------------------------------------
+# Entry point (``python -m repro bench``)
+# ----------------------------------------------------------------------
+def run_bench(out_path: str, telemetry_dir: Optional[str] = None) -> int:
+    from repro.experiments.common import scale_from_env
+    from repro.telemetry.manifest import git_revision
+
+    num_nodes, num_events = scale_from_env()
+    tel_dir = telemetry_dir or "out"
+    print(f"bench: macro scale {num_nodes} nodes / {num_events} events")
+
+    t_start = time.time()
+    micro = {
+        "scheduler": _bench_scheduler(),
+        "routing": _bench_routing(),
+        "matching": _bench_matching(),
+    }
+    macro = _bench_macro(num_nodes, num_events, tel_dir)
+
+    data: Dict[str, Any] = {
+        "schema": SCHEMA,
+        "created_utc": time.strftime(
+            "%Y-%m-%dT%H:%M:%SZ", time.gmtime(t_start)
+        ),
+        "git_rev": git_revision(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "scale": {
+            "name": os.environ.get("REPRO_SCALE", "bench"),
+            "num_nodes": num_nodes,
+            "num_events": num_events,
+        },
+        "micro": micro,
+        "macro": macro,
+    }
+    checks = validate_bench(data)
+    data["checks"] = checks
+    data["wall_seconds"] = time.time() - t_start
+
+    with open(out_path, "w", encoding="utf-8") as fh:
+        json.dump(data, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+    r = micro["routing"]
+    m = macro["cache_on"]
+    print(
+        f"scheduler     {micro['scheduler']['ops_per_sec']:12,.0f} ops/s\n"
+        f"next_hop      {r['next_hop_ops_per_sec']:12,.0f} hops/s "
+        f"(bisect {r['bisect_us_per_call']:.2f}us vs linear "
+        f"{r['linear_us_per_call']:.2f}us = "
+        f"{r['closest_preceding_speedup']:.1f}x)\n"
+        f"matching      grid {micro['matching']['grid_speedup']:.1f}x over "
+        f"linear at {micro['matching']['boxes']} boxes\n"
+        f"macro         {m['wall_seconds']:.2f}s "
+        f"({m['events_per_sec']:,.0f} events/s), route-cache hit rate "
+        f"{m['route_cache_stats']['hit_rate']:.3f}, "
+        f"{macro['wall_improvement']:.2f}x vs cache off"
+    )
+    failed = [name for name, ok in checks.items() if not ok]
+    if failed:
+        print(f"BENCH CHECKS FAILED: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    print(f"all checks passed; wrote {out_path}")
+    return 0

@@ -156,6 +156,20 @@ class HyperSubConfig:
     #: paper's configuration).  Chord overlay only.
     replication_factor: int = 1
 
+    # -- hot-path route caching (perf extension) -------------------------
+    #: Memoise ``next_hop_addr`` per node, keyed on the overlay's
+    #: ``routing_epoch`` (dht/base.py contract): the many SubIDs sharing
+    #: a destination arc in one Algorithm-5 worklist -- and across
+    #: consecutive events -- resolve with one routing computation.  Any
+    #: routing-state mutation (finger fix-up, successor change, churn)
+    #: bumps the epoch and flushes the cache, so cached answers are
+    #: provably identical to uncached ones.  Circuit-breaker reroutes
+    #: are applied *after* the cache read and never stored.
+    route_cache: bool = True
+    #: Entries kept per node before the cache is flushed wholesale
+    #: (flush-on-full beats LRU bookkeeping at this hit pattern).
+    route_cache_size: int = 4096
+
     # -- local event matching --------------------------------------------
     #: Index structure for surrogate repositories: "linear" (vectorised
     #: scan, default) or "grid" (spatial hash over the first two
@@ -224,6 +238,8 @@ class HyperSubConfig:
             raise ValueError("anti_entropy requires replication_factor > 1")
         if self.anti_entropy_interval_ms <= 0:
             raise ValueError("anti_entropy_interval_ms must be positive")
+        if self.route_cache_size < 1:
+            raise ValueError("route_cache_size must be >= 1")
         # Validates base/code_bits compatibility eagerly.
         self.geometry  # noqa: B018
 

@@ -54,15 +54,25 @@ class GridIndex(BoxStore):
             raise ValueError("domain must have positive extent")
         self._grid_dims = min(2, dims)
         self._cells = cells_per_dim
+        # Hot-path precomputation: ``_cell_of`` runs once per grid
+        # dimension per query/insert, so keep plain Python floats (no
+        # numpy scalar boxing) and fold the divide into a multiply by
+        # the inverse span, computed once here.
+        self._cell_lo = [float(self._g_lows[d]) for d in range(self._grid_dims)]
+        self._cell_inv = [
+            cells_per_dim / float(self._g_highs[d] - self._g_lows[d])
+            for d in range(self._grid_dims)
+        ]
+        self._cell_max = cells_per_dim - 1
         self._buckets: Dict[Tuple[int, ...], Set[int]] = {}
         self._slot_cells: Dict[int, List[Tuple[int, ...]]] = {}
 
     # ------------------------------------------------------------------
     def _cell_of(self, value: float, dim: int) -> int:
-        lo = self._g_lows[dim]
-        span = self._g_highs[dim] - lo
-        c = int((value - lo) / span * self._cells)
-        return min(max(c, 0), self._cells - 1)
+        c = int((value - self._cell_lo[dim]) * self._cell_inv[dim])
+        if c < 0:
+            return 0
+        return c if c < self._cell_max else self._cell_max
 
     def _cells_for_box(self, lows: np.ndarray, highs: np.ndarray):
         ranges = [

@@ -48,6 +48,11 @@ from repro.sim.messages import (
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.system import HyperSubSystem
 
+#: Route-cache miss sentinel: ``None`` is a valid cached answer ("this
+#: node is responsible"), so absence needs its own marker.
+_RC_MISS = object()
+
+
 #: Wire size of one subscription box (two float64 bounds per dimension).
 def subscription_wire_bytes(dims: int) -> int:
     return SUBID_BYTES + 16 * dims
@@ -170,6 +175,15 @@ class PubSubNodeMixin:
 
         #: anti-entropy re-replication loop state (self-healing extension)
         self._ae_running = False
+
+        #: epoch-keyed next-hop cache (perf extension; the invalidation
+        #: rule lives in dht/base.py and docs/PERFORMANCE.md)
+        self._rc_enabled = system.config.route_cache
+        self._rc_max = system.config.route_cache_size
+        self._rc: Dict[int, Optional[int]] = {}
+        self._rc_epoch = -1
+        self.rc_hits = 0
+        self.rc_misses = 0
 
         self.register_handler("ps_register", self._on_ps_register)
         self.register_handler("ps_replica", self._on_ps_replica)
@@ -1357,6 +1371,31 @@ class PubSubNodeMixin:
                     best_dist = d
         return best
 
+    def _cached_next_hop(self, nid: int) -> Optional[int]:
+        """``next_hop_addr`` memoised per routing epoch.
+
+        The cache holds *routing-table answers only*: a flushed epoch is
+        the sole invalidation rule (any finger/successor/predecessor
+        mutation bumps it, see dht/base.py), so a hit is byte-identical
+        to recomputing.  Breaker reroutes happen downstream of this call
+        and are never written back -- an open circuit must not poison
+        routing for the breaker's lifetime.
+        """
+        epoch = self.routing_epoch
+        if epoch != self._rc_epoch:
+            self._rc.clear()
+            self._rc_epoch = epoch
+        nh = self._rc.get(nid, _RC_MISS)
+        if nh is not _RC_MISS:
+            self.rc_hits += 1
+            return nh
+        self.rc_misses += 1
+        nh = self.next_hop_addr(nid)
+        if len(self._rc) >= self._rc_max:
+            self._rc.clear()
+        self._rc[nid] = nh
+        return nh
+
     def _on_ps_storm(self, msg: Message) -> None:
         """Synthetic storm traffic (``FaultSchedule.storm``): its entire
         cost is the service time it consumed in the ingress queue."""
@@ -1415,7 +1454,10 @@ class PubSubNodeMixin:
             else:
                 if prof is not None:
                     t0 = perf_counter()
-                nh = self.next_hop_addr(nid)
+                if self._rc_enabled:
+                    nh = self._cached_next_hop(nid)
+                else:
+                    nh = self.next_hop_addr(nid)
                 if prof is not None:
                     prof.add("algo5.route", perf_counter() - t0)
                 if nh is None:  # pragma: no cover - defensive

@@ -586,3 +586,20 @@ class HyperSubSystem:
 
     def out_bandwidth_kb(self) -> np.ndarray:
         return self.network.stats.out_bytes / 1024.0
+
+    def route_cache_stats(self) -> Dict[str, float]:
+        """Aggregate next-hop cache counters (perf extension).
+
+        ``hit_rate`` is 0.0 before any routed entry (no division by
+        zero); ``python -m repro bench`` records it in
+        ``BENCH_hotpath.json`` and CI asserts it stays > 0.
+        """
+        hits = sum(n.rc_hits for n in self.nodes)
+        misses = sum(n.rc_misses for n in self.nodes)
+        total = hits + misses
+        return {
+            "enabled": float(self.config.route_cache),
+            "hits": float(hits),
+            "misses": float(misses),
+            "hit_rate": hits / total if total else 0.0,
+        }

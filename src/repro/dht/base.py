@@ -14,6 +14,24 @@ Both :class:`~repro.dht.chord.ChordNode` and
 :class:`~repro.dht.pastry.PastryNode` implement this interface, which is
 how the repository demonstrates the paper's claim that "the techniques
 ... are applicable to other DHTs".
+
+Routing epochs (perf contract, docs/PERFORMANCE.md)
+---------------------------------------------------
+
+``next_hop_addr`` sits on the hottest path of the whole simulation:
+Algorithm 5 calls it once per SubID entry per message.  To let overlays
+keep *lazily rebuilt* routing snapshots -- and higher layers keep
+next-hop caches -- every :class:`OverlayNode` carries a monotonically
+increasing ``routing_epoch``.  The contract is:
+
+* any mutation of routing state (fingers, successor list, leaf set,
+  predecessor pointer, routing table) bumps the epoch, via
+  :meth:`bump_routing_epoch`;
+* anything derived from routing state (a sorted snapshot, a memoised
+  neighbour list, a next-hop cache) is valid exactly while the epoch it
+  was built under is still current.
+
+Concrete overlays are responsible for bumping; consumers only compare.
 """
 
 from __future__ import annotations
@@ -47,6 +65,12 @@ class OverlayNode(SimNode):
         self.node_id = node_id
         self._handlers: Dict[str, Callable[[Message], None]] = {}
         self._pending_lookups: Dict[int, dict] = {}
+        #: bumped on every routing-state mutation (see module docstring);
+        #: snapshots/caches keyed on it self-invalidate.
+        self.routing_epoch = 0
+        #: memoised neighbour list (valid while the epoch matches)
+        self._neigh_cache: List[int] = []
+        self._neigh_epoch = -1
         self.register_handler("dht_lookup_step", self._on_lookup_step)
         self.register_handler("dht_lookup_reply", self._on_lookup_reply)
         self._alive = True
@@ -71,6 +95,13 @@ class OverlayNode(SimNode):
     def fail(self) -> None:
         """Crash-stop this node (churn experiments)."""
         self._alive = False
+
+    # ------------------------------------------------------------------
+    # Routing-epoch contract (see module docstring)
+    # ------------------------------------------------------------------
+    def bump_routing_epoch(self) -> None:
+        """Invalidate every snapshot/cache derived from routing state."""
+        self.routing_epoch += 1
 
     # ------------------------------------------------------------------
     # Routing interface implemented by concrete overlays

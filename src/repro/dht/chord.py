@@ -22,12 +22,20 @@ Responsibility convention: a node owns key ``k`` iff
 from __future__ import annotations
 
 import itertools
+from bisect import bisect_left
 from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.dht.base import OverlayNode
-from repro.dht.idspace import ID_BITS, cw_distance, id_add, id_in_interval, random_ids
+from repro.dht.idspace import (
+    ID_BITS,
+    cw_distance,
+    id_add,
+    id_in_interval,
+    id_sub,
+    random_ids,
+)
 from repro.dht.pns import build_finger_table
 from repro.dht.ring import SortedRing
 from repro.sim.messages import CONTROL_BYTES, Message
@@ -39,6 +47,112 @@ _rpc_ids = itertools.count()
 DEFAULT_SUCC_LIST = 8
 #: Consecutive RPC timeouts before a neighbour is presumed dead.
 DEFAULT_SUSPICION_THRESHOLD = 3
+
+
+class _TrackedList(list):
+    """A list that bumps its owner's routing epoch on every mutation.
+
+    ``ChordNode.successors`` is mutated both by wholesale reassignment
+    (caught by the property setter) and in place (``insert`` during
+    stabilization, comprehension-filtered eviction...).  Routing the
+    in-place mutators through the epoch keeps the sorted routing
+    snapshot and every downstream next-hop cache honest without a
+    dirty flag at each of the dozen call sites.
+    """
+
+    __slots__ = ("_owner",)
+
+    def __init__(self, owner: "OverlayNode", iterable=()) -> None:
+        super().__init__(iterable)
+        self._owner = owner
+
+    def append(self, value) -> None:
+        super().append(value)
+        self._owner.bump_routing_epoch()
+
+    def insert(self, index, value) -> None:
+        super().insert(index, value)
+        self._owner.bump_routing_epoch()
+
+    def extend(self, iterable) -> None:
+        super().extend(iterable)
+        self._owner.bump_routing_epoch()
+
+    def remove(self, value) -> None:
+        super().remove(value)
+        self._owner.bump_routing_epoch()
+
+    def pop(self, index=-1):
+        out = super().pop(index)
+        self._owner.bump_routing_epoch()
+        return out
+
+    def clear(self) -> None:
+        super().clear()
+        self._owner.bump_routing_epoch()
+
+    def sort(self, **kwargs) -> None:
+        super().sort(**kwargs)
+        self._owner.bump_routing_epoch()
+
+    def reverse(self) -> None:
+        super().reverse()
+        self._owner.bump_routing_epoch()
+
+    def __setitem__(self, index, value) -> None:
+        super().__setitem__(index, value)
+        self._owner.bump_routing_epoch()
+
+    def __delitem__(self, index) -> None:
+        super().__delitem__(index)
+        self._owner.bump_routing_epoch()
+
+    def __iadd__(self, other):
+        result = super().__iadd__(other)
+        self._owner.bump_routing_epoch()
+        return result
+
+
+class _TrackedDict(dict):
+    """A dict that bumps its owner's routing epoch on every mutation
+    (the finger-table counterpart of :class:`_TrackedList`)."""
+
+    __slots__ = ("_owner",)
+
+    def __init__(self, owner: "OverlayNode", mapping=()) -> None:
+        super().__init__(mapping)
+        self._owner = owner
+
+    def __setitem__(self, key, value) -> None:
+        super().__setitem__(key, value)
+        self._owner.bump_routing_epoch()
+
+    def __delitem__(self, key) -> None:
+        super().__delitem__(key)
+        self._owner.bump_routing_epoch()
+
+    def pop(self, *args):
+        out = super().pop(*args)
+        self._owner.bump_routing_epoch()
+        return out
+
+    def popitem(self):
+        out = super().popitem()
+        self._owner.bump_routing_epoch()
+        return out
+
+    def clear(self) -> None:
+        super().clear()
+        self._owner.bump_routing_epoch()
+
+    def update(self, *args, **kwargs) -> None:
+        super().update(*args, **kwargs)
+        self._owner.bump_routing_epoch()
+
+    def setdefault(self, key, default=None):
+        out = super().setdefault(key, default)
+        self._owner.bump_routing_epoch()
+        return out
 
 
 class ChordNode(OverlayNode):
@@ -59,6 +173,15 @@ class ChordNode(OverlayNode):
         self.succ_list_len = succ_list_len
         self.stabilize_interval_ms = stabilize_interval_ms
         self.rpc_timeout_ms = rpc_timeout_ms
+
+        #: sorted routing snapshot (docs/PERFORMANCE.md): clockwise
+        #: distances from this node and the matching (id, addr) entries,
+        #: rebuilt lazily whenever ``routing_epoch`` moves past
+        #: ``_snap_epoch``.  ``_closest_preceding`` bisects it instead of
+        #: scanning and re-deduplicating fingers+successors per call.
+        self._snap_rot: List[int] = []
+        self._snap_entries: List[Tuple[int, int]] = []
+        self._snap_epoch = -1
 
         self.predecessor: Optional[Tuple[int, int]] = None  # (id, addr)
         self.successors: List[Tuple[int, int]] = []  # clockwise order
@@ -93,6 +216,43 @@ class ChordNode(OverlayNode):
         self.register_handler("chord_pong", self._on_pong)
 
     # ------------------------------------------------------------------
+    # Routing state: epoch-tracked containers
+    # ------------------------------------------------------------------
+    # Wholesale reassignment (``node.successors = [...]``) and in-place
+    # mutation (``node.successors.insert(0, ...)``) both invalidate the
+    # sorted routing snapshot; the property setters and the tracked
+    # containers cover the two cases respectively.  The predecessor
+    # pointer participates too: it defines ``is_responsible``, so any
+    # next-hop cache keyed on the epoch must die when it moves.
+
+    @property
+    def predecessor(self) -> Optional[Tuple[int, int]]:
+        return self._predecessor
+
+    @predecessor.setter
+    def predecessor(self, value: Optional[Tuple[int, int]]) -> None:
+        self._predecessor = value
+        self.bump_routing_epoch()
+
+    @property
+    def successors(self) -> List[Tuple[int, int]]:
+        return self._successors
+
+    @successors.setter
+    def successors(self, value) -> None:
+        self._successors = _TrackedList(self, value)
+        self.bump_routing_epoch()
+
+    @property
+    def fingers(self) -> Dict[int, Tuple[int, int]]:
+        return self._fingers
+
+    @fingers.setter
+    def fingers(self, value) -> None:
+        self._fingers = _TrackedDict(self, value)
+        self.bump_routing_epoch()
+
+    # ------------------------------------------------------------------
     # Routing (OverlayNode interface)
     # ------------------------------------------------------------------
     def is_responsible(self, key: int) -> bool:
@@ -114,15 +274,74 @@ class ChordNode(OverlayNode):
         best = self._closest_preceding(key)
         return best[1] if best is not None else succ_addr
 
+    def _refresh_snapshot(self) -> None:
+        """Rebuild the sorted routing snapshot from fingers+successors.
+
+        Dedup precedence (fingers first) matches the historical
+        ``routing_entries`` so the bisect router answers byte-identically
+        to the linear scan it replaced.  Entries equal to this node are
+        dropped: they can never make strict clockwise progress.
+        """
+        seen: Dict[int, int] = {}
+        for ent_id, ent_addr in self._fingers.values():
+            if ent_id != self.node_id:
+                seen.setdefault(ent_id, ent_addr)
+        for ent_id, ent_addr in self._successors:
+            if ent_id != self.node_id:
+                seen.setdefault(ent_id, ent_addr)
+        me = self.node_id
+        order = sorted((id_sub(ent_id, me), ent_id) for ent_id in seen)
+        self._snap_rot = [rot for rot, _ in order]
+        self._snap_entries = [(ent_id, seen[ent_id]) for _, ent_id in order]
+        self._snap_epoch = self.routing_epoch
+
+    def routing_snapshot(self) -> Tuple[List[int], List[Tuple[int, int]]]:
+        """The (rotated distances, entries) pair, refreshed if stale.
+
+        Exposed for benchmarks and property tests; both lists are owned
+        by the node and must be treated as read-only.
+        """
+        if self._snap_epoch != self.routing_epoch:
+            self._refresh_snapshot()
+        return self._snap_rot, self._snap_entries
+
     def _closest_preceding(self, key: int) -> Optional[Tuple[int, int]]:
         """Routing entry with the largest clockwise progress toward ``key``.
 
         Only entries strictly inside ``(self, key)`` qualify, the classic
         Chord guarantee that routing never overshoots the home node.
+        O(log f) bisect over the sorted snapshot, allocation-free per
+        call; :meth:`_closest_preceding_linear` is the reference scan the
+        property tests compare against.
         """
+        if self._snap_epoch != self.routing_epoch:
+            self._refresh_snapshot()
+        rot = self._snap_rot
+        if not rot:
+            return None
+        d = id_sub(key, self.node_id)
+        # d == 0 (key == self) means the open arc (self, self): the whole
+        # ring qualifies, i.e. every snapshot entry.
+        idx = bisect_left(rot, d) if d else len(rot)
+        if idx == 0:
+            return None
+        return self._snap_entries[idx - 1]
+
+    def _closest_preceding_linear(self, key: int) -> Optional[Tuple[int, int]]:
+        """Reference implementation: linear scan over raw routing state.
+
+        Kept (not dead code) as the ground truth for the snapshot router:
+        the property tests assert agreement on randomized rings and the
+        bench harness measures the speedup against it.
+        """
+        seen: Dict[int, int] = {}
+        for ent_id, ent_addr in self._fingers.values():
+            seen.setdefault(ent_id, ent_addr)
+        for ent_id, ent_addr in self._successors:
+            seen.setdefault(ent_id, ent_addr)
         best: Optional[Tuple[int, int]] = None
         best_dist = -1
-        for ent_id, ent_addr in self.routing_entries():
+        for ent_id, ent_addr in seen.items():
             if id_in_interval(ent_id, self.node_id, key):
                 d = cw_distance(self.node_id, ent_id)
                 if d > best_dist:
@@ -131,25 +350,31 @@ class ChordNode(OverlayNode):
         return best
 
     def routing_entries(self) -> List[Tuple[int, int]]:
-        """Fingers plus successor list, deduplicated by id."""
-        seen: Dict[int, int] = {}
-        for ent_id, ent_addr in self.fingers.values():
-            seen.setdefault(ent_id, ent_addr)
-        for ent_id, ent_addr in self.successors:
-            seen.setdefault(ent_id, ent_addr)
-        return list(seen.items())
+        """Fingers plus successor list, deduplicated by id.
+
+        Derived from the sorted snapshot (clockwise from this node), so
+        anti-entropy and breaker callers no longer rebuild a dict per
+        call.  Owned by the node -- treat as read-only.
+        """
+        if self._snap_epoch != self.routing_epoch:
+            self._refresh_snapshot()
+        return self._snap_entries
 
     def neighbor_addrs(self) -> List[int]:
-        out: List[int] = []
-        seen = set()
-        for _id, a in self.routing_entries():
-            if a != self.addr and a not in seen:
-                seen.add(a)
-                out.append(a)
-        if self.predecessor is not None and self.predecessor[1] not in seen:
-            if self.predecessor[1] != self.addr:
-                out.append(self.predecessor[1])
-        return out
+        """Distinct neighbour addresses, memoised per routing epoch."""
+        if self._neigh_epoch != self.routing_epoch:
+            out: List[int] = []
+            seen = set()
+            for _id, a in self.routing_entries():
+                if a != self.addr and a not in seen:
+                    seen.add(a)
+                    out.append(a)
+            pred = self._predecessor
+            if pred is not None and pred[1] not in seen and pred[1] != self.addr:
+                out.append(pred[1])
+            self._neigh_cache = out
+            self._neigh_epoch = self.routing_epoch
+        return self._neigh_cache
 
     # ------------------------------------------------------------------
     # Dynamic membership

@@ -158,6 +158,8 @@ class KoordeNode(OverlayNode):
         return succ_addr
 
     def neighbor_addrs(self) -> List[int]:
+        # Only three pointers: memoising per routing epoch (the shared
+        # OverlayNode contract) would cost more than the walk itself.
         out = []
         seen = {self.addr}
         for ent in (self.successor, self.debruijn, self.predecessor):
@@ -248,4 +250,7 @@ def build_koorde_overlay(
         # successor arc covers 2m, so point at predecessor(2m).
         db = ring.predecessor((2 * node.node_id) % ID_SPACE)
         node.debruijn = (db, ring.addr(db))
+        # Honour the shared routing-epoch contract (dht/base.py) even
+        # though Koorde keeps no derived snapshot of its own.
+        node.bump_routing_epoch()
     return nodes, ring

@@ -137,6 +137,15 @@ class PastryNode(OverlayNode):
         return cw_distance(lo, key) <= cw_distance(lo, hi)
 
     def neighbor_addrs(self) -> List[int]:
+        """Distinct neighbour addresses, memoised per routing epoch.
+
+        Pastry construction is static, so after the build bumps the
+        epoch once the leaf-set + table walk runs exactly one time no
+        matter how often the load balancer or breaker samples it (the
+        shared :class:`~repro.dht.base.OverlayNode` epoch contract).
+        """
+        if self._neigh_epoch == self.routing_epoch:
+            return self._neigh_cache
         out: List[int] = []
         seen = {self.addr}
         for ent_id, ent_addr in self._all_leaves():
@@ -148,6 +157,8 @@ class PastryNode(OverlayNode):
                 if ent_addr not in seen:
                     seen.add(ent_addr)
                     out.append(ent_addr)
+        self._neigh_cache = out
+        self._neigh_epoch = self.routing_epoch
         return out
 
 
@@ -187,6 +198,9 @@ def build_pastry_overlay(
             ccw_ids.append(cur)
         node.leaves_ccw = [(pid, ring.addr(pid)) for pid in ccw_ids]
         _fill_routing_table(node, ring, network, proximity_samples, rng)
+        # Routing state is complete: invalidate anything derived from the
+        # factory-fresh (empty) tables.
+        node.bump_routing_epoch()
     return nodes, ring
 
 

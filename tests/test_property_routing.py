@@ -1,0 +1,213 @@
+"""Property tests for the sorted routing snapshot and the route cache.
+
+The bisect router (``ChordNode._closest_preceding``) must answer
+*byte-identically* to the linear reference scan it replaced, for any
+routing state hypothesis can dream up -- wraparound keys, stale fingers
+pointing at departed ids, empty successor lists, and state mutated
+mid-stream by join/leave/eviction interleavings.  And the per-node
+route cache must never change what the system delivers: same
+dissemination trees, same message and byte counts, on fixed seeds.
+"""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Attribute,
+    Event,
+    HyperSubConfig,
+    HyperSubSystem,
+    Scheme,
+    Subscription,
+)
+from repro.dht.chord import ChordNode, build_chord_overlay
+from repro.dht.idspace import ID_SPACE
+from repro.sim.engine import Simulator
+from repro.sim.network import Network
+from repro.sim.topology import ConstantTopology
+
+ids64 = st.integers(0, ID_SPACE - 1)
+
+
+def bare_node(node_id: int) -> ChordNode:
+    sim = Simulator()
+    net = Network(sim, ConstantTopology(4, rtt=10.0))
+    return ChordNode(0, node_id, net)
+
+
+def assert_router_agreement(node: ChordNode, keys) -> None:
+    # Always probe the structural corner cases alongside random keys:
+    # the node's own id (whole-ring arc), both ring neighbours of it,
+    # and every routing-entry id (boundary of the strict interval).
+    probes = list(keys) + [
+        node.node_id,
+        (node.node_id + 1) % ID_SPACE,
+        (node.node_id - 1) % ID_SPACE,
+    ]
+    probes += [ent_id for ent_id, _ in node.routing_entries()]
+    for key in probes:
+        assert node._closest_preceding(key) == node._closest_preceding_linear(
+            key
+        ), (node.node_id, key)
+
+
+@given(
+    node_id=ids64,
+    finger_ids=st.lists(ids64, max_size=24),
+    succ_ids=st.lists(ids64, max_size=8),
+    keys=st.lists(ids64, min_size=1, max_size=24),
+)
+@settings(max_examples=120, deadline=None)
+def test_bisect_agrees_with_linear_on_arbitrary_state(
+    node_id, finger_ids, succ_ids, keys
+):
+    """Any routing state, any key -- including stale fingers (ids that
+    never were on a ring), duplicate ids under different addresses
+    (finger-first precedence must hold), and empty successor lists."""
+    node = bare_node(node_id)
+    node.fingers = {
+        i: (fid, 1_000 + i) for i, fid in enumerate(finger_ids)
+    }
+    node.successors = [(sid, 2_000 + i) for i, sid in enumerate(succ_ids)]
+    assert_router_agreement(node, keys)
+
+
+@given(
+    node_id=ids64,
+    shared=st.lists(ids64, min_size=1, max_size=8),
+    keys=st.lists(ids64, min_size=1, max_size=8),
+)
+@settings(max_examples=60, deadline=None)
+def test_finger_addr_precedence_over_successor(node_id, shared, keys):
+    """The same id reachable as both finger and successor must resolve
+    to the finger's address (the historical dedup order)."""
+    node = bare_node(node_id)
+    node.fingers = {i: (sid, 10_000 + i) for i, sid in enumerate(shared)}
+    node.successors = [(sid, 20_000 + i) for i, sid in enumerate(shared)]
+    assert_router_agreement(node, keys)
+    for ent_id, ent_addr in node.routing_entries():
+        assert ent_addr >= 10_000 and ent_addr < 20_000
+
+
+@given(
+    node_id=ids64,
+    keys=st.lists(ids64, min_size=1, max_size=8),
+)
+@settings(max_examples=30, deadline=None)
+def test_empty_routing_state(node_id, keys):
+    node = bare_node(node_id)
+    for key in keys:
+        assert node._closest_preceding(key) is None
+        assert node._closest_preceding_linear(key) is None
+    assert node.routing_entries() == []
+    assert node.neighbor_addrs() == []
+
+
+@given(seed=st.integers(0, 2**32 - 1))
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_agreement_under_mutation_interleavings(seed):
+    """A real ring mutated like churn does: wholesale reassignment,
+    in-place inserts/filters (stabilize), finger overwrites (fix-up),
+    evictions (hop failover) and predecessor moves.  After *every*
+    mutation the snapshot must already be invalid (epoch moved) and
+    agree with the linear scan once refreshed."""
+    rng = random.Random(seed)
+    sim = Simulator()
+    net = Network(sim, ConstantTopology(48, rtt=10.0))
+    nodes, ring = build_chord_overlay(net, seed=seed % 1_000 + 1)
+    keys = [rng.getrandbits(64) for _ in range(8)]
+
+    for _ in range(25):
+        node = rng.choice(nodes)
+        node.routing_snapshot()  # warm, so staleness is observable
+        epoch = node.routing_epoch
+        op = rng.randrange(6)
+        if op == 0 and node.successors:  # stabilize-style insert
+            donor = rng.choice(nodes)
+            node.successors.insert(
+                0, (donor.node_id, donor.addr)
+            )
+        elif op == 1 and node.successors:  # eviction filter (reassign)
+            victim = rng.choice(node.successors)
+            node.successors = [s for s in node.successors if s != victim]
+        elif op == 2 and node.fingers:  # finger fix-up overwrite
+            i = rng.choice(list(node.fingers))
+            donor = rng.choice(nodes)
+            node.fingers[i] = (donor.node_id, donor.addr)
+        elif op == 3 and node.fingers:  # stale-finger purge
+            del node.fingers[rng.choice(list(node.fingers))]
+        elif op == 4:  # predecessor move (responsibility change)
+            donor = rng.choice(nodes)
+            node.predecessor = (donor.node_id, donor.addr)
+        else:  # hop-failover eviction of a whole address
+            node.evict_neighbor(rng.choice(nodes).addr)
+        assert node.routing_epoch > epoch, "mutation did not bump epoch"
+        assert_router_agreement(node, keys)
+
+
+# ----------------------------------------------------------------------
+# Route cache: caching must never change delivery results
+# ----------------------------------------------------------------------
+DOMAIN = 1000.0
+N_NODES = 25
+
+
+def run_fixed_workload(route_cache: bool, seed: int):
+    cfg = HyperSubConfig(
+        seed=3, base=2, code_bits=12, direct_rendezvous_levels=4,
+        route_cache=route_cache,
+    )
+    system = HyperSubSystem(num_nodes=N_NODES, config=cfg)
+    scheme = Scheme(
+        "p", [Attribute("x", 0, DOMAIN), Attribute("y", 0, DOMAIN)]
+    )
+    system.add_scheme(scheme)
+    system.tracing = True  # record dissemination edges per event
+    rng = random.Random(seed)
+    for i in range(40):
+        lo = [rng.uniform(0, DOMAIN - 1) for _ in range(2)]
+        hi = [min(DOMAIN, v + rng.uniform(1, 400)) for v in lo]
+        sub = Subscription.from_box(scheme, lo, hi)
+        system.subscribe(i % N_NODES, sub)
+    system.finish_setup()
+    out = []
+    for i in range(12):
+        ev = Event(
+            scheme,
+            {"x": rng.uniform(0, DOMAIN), "y": rng.uniform(0, DOMAIN)},
+        )
+        eid = system.publish(i % N_NODES, ev)
+        system.run_until_idle()
+        rec = system.metrics.records[eid]
+        out.append(
+            {
+                "deliveries": sorted(
+                    (d[0].nid, d[0].iid, d[1], d[2]) for d in rec.deliveries
+                ),
+                "edges": sorted(rec.edges),
+                "messages": rec.messages,
+                "bytes": rec.bytes,
+            }
+        )
+    return out, system
+
+
+def test_route_cache_preserves_dissemination_trees():
+    """Cache on vs off: identical deliveries, identical per-event
+    forwarding edges, identical message and byte counts -- and the
+    cached run actually exercises the cache."""
+    for seed in (7, 23, 99):
+        cached, cached_sys = run_fixed_workload(True, seed)
+        uncached, uncached_sys = run_fixed_workload(False, seed)
+        assert cached == uncached
+        stats = cached_sys.route_cache_stats()
+        assert stats["hits"] > 0
+        assert stats["hit_rate"] > 0.0
+        off = uncached_sys.route_cache_stats()
+        assert off["hits"] == 0 and off["misses"] == 0

@@ -126,6 +126,112 @@ class TestHopFailover:
         assert stats.retransmissions == 0
 
 
+class TestRouteCacheInvalidation:
+    """The epoch-keyed next-hop cache (perf extension) must never serve
+    a stale answer across routing-state changes -- the exact scenarios
+    self-healing creates: finger fix-ups, successor changes, hop-
+    failover evictions and breaker-driven reroutes."""
+
+    def test_cache_recomputes_after_each_epoch_bump(self):
+        system, *_ = build(subs=10)
+        node = system.nodes[0]
+        # Pick a key this node routes (not one it owns).
+        key = next(
+            k for k in range(0, 2**64, 2**59)
+            if not node.is_responsible(k)
+        )
+        first = node._cached_next_hop(key)
+        assert first == node.next_hop_addr(key)
+        misses = node.rc_misses
+        assert node._cached_next_hop(key) == first
+        assert node.rc_hits >= 1 and node.rc_misses == misses
+
+        # Finger fix-up: overwrite whichever finger carries the key.
+        donor = system.nodes[1]
+        for i in list(node.fingers):
+            node.fingers[i] = (donor.node_id, donor.addr)
+        after_fix = node._cached_next_hop(key)
+        assert node.rc_misses == misses + 1, "fix-up did not flush cache"
+        assert after_fix == node.next_hop_addr(key)
+
+        # Successor change (wholesale reassignment, stabilize-style).
+        node.successors = [(donor.node_id, donor.addr)]
+        assert node._cached_next_hop(key) == node.next_hop_addr(key)
+        assert node.rc_misses == misses + 2
+
+        # Hop-failover eviction of the cached answer's address.
+        target = node._cached_next_hop(key)  # warm (no mutation since)
+        assert node.rc_misses == misses + 2
+        if target is not None:
+            node.evict_neighbor(target)
+            fresh = node._cached_next_hop(key)
+            assert fresh == node.next_hop_addr(key)
+            assert fresh != target
+
+    def test_breaker_reroute_is_never_cached(self):
+        """An open circuit must divert traffic without poisoning the
+        cache: the cached value stays the routing-table answer, so the
+        next epoch/half-open probe goes back to the real next hop."""
+        system, scheme, installed, addr_of, rng = build(
+            subs=60,
+            service_model=True,
+            reliable_delivery=True,
+            overload_protection=True,
+            breaker_failure_threshold=1,
+        )
+        pt = rng.normal(3000, 400, 4) % 10000
+        ev = Event(scheme, list(pt))
+        node = system.nodes[0]
+        # Route any non-owned key once to populate the cache, then open
+        # the breaker on the cached hop.
+        key = next(
+            k for k in range(0, 2**64, 2**59)
+            if not node.is_responsible(k)
+        )
+        hot = node._cached_next_hop(key)
+        assert hot is not None
+        node.breaker.record_failure(hot, system.sim.now)
+        assert not node.breaker.allow(hot, system.sim.now)
+        alt = node._route_around(key, hot)
+        # Whether or not an alternate exists, the cache must still hold
+        # the routing-table answer, not the diversion.
+        assert node._rc.get(key) == hot
+        if alt is not None:
+            assert alt != hot
+        eid = system.publish(0, ev)
+        system.run_until_idle()
+        assert eid in system.metrics.records
+
+    def test_failover_full_delivery_with_caching_on(self):
+        """The headline self-healing property with the route cache
+        explicitly enabled: crash the most loaded node, publish through
+        the broken overlay, and require ratio 1.0 -- while the cache is
+        demonstrably in use (hits > 0) and epoch bumps from eviction/
+        maintenance keep it honest."""
+        system, scheme, installed, addr_of, rng = build(
+            route_cache=True, **healing_config()
+        )
+        system.start_maintenance(stabilize_interval_ms=250.0,
+                                 rpc_timeout_ms=1_000.0)
+        system.start_anti_entropy()
+        loads = [
+            sum(len(r.store) for r in node.zone_repos.values())
+            for node in system.nodes
+        ]
+        victim = int(np.argmax(loads))
+        system.nodes[victim].fail()
+        d, e, u = publish_and_score(
+            system, scheme, installed, addr_of, rng, {victim}
+        )
+        system.stop_maintenance()
+        system.stop_anti_entropy()
+        system.run_until_idle()
+        assert u == 0
+        assert d == e, f"failover with caching lost {e - d} of {e}"
+        stats = system.route_cache_stats()
+        assert stats["hits"] > 0 and stats["hit_rate"] > 0.0
+
+
 class TestAntiEntropy:
     def test_replica_floor_restored_after_crash(self):
         """After a crash destroys one copy of every entry the victim
