@@ -4,8 +4,13 @@ Examples::
 
     python -m repro fig2                 # regenerate Figure 2 tables
     python -m repro fig5 --scale quick   # fast sanity sweep
+    python -m repro fig5 --jobs 4        # sweep across 4 worker processes
     python -m repro all                  # every experiment, in order
     python -m repro list                 # what's available
+
+Sweep points are cached in a persistent result store (out/results/ by
+default; see docs/RUNNER.md) -- a killed sweep resumes where it died,
+and rerunning a finished sweep replays it from disk.
 
 Observability (docs/OBSERVABILITY.md)::
 
@@ -80,6 +85,21 @@ def main(argv=None) -> int:
         help="shorthand for --scale quick (CI smoke runs)",
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run independent sweep points across N worker processes "
+        "(default: REPRO_JOBS, else serial); see docs/RUNNER.md",
+    )
+    parser.add_argument(
+        "--results-dir",
+        metavar="DIR",
+        default=None,
+        help="persistent result-store location (default: REPRO_RESULTS_DIR, "
+        "else out/results; 'none' disables the store)",
+    )
+    parser.add_argument(
         "--telemetry-out",
         metavar="DIR",
         default=None,
@@ -112,6 +132,14 @@ def main(argv=None) -> int:
         args.scale = "quick"
     if args.scale:
         os.environ["REPRO_SCALE"] = args.scale
+    if args.jobs is not None:
+        if args.jobs < 1:
+            parser.error(f"--jobs must be >= 1, got {args.jobs}")
+        # The drivers read REPRO_JOBS through repro.runner.resolve_jobs,
+        # so one flag parallelises every sweep the invocation runs.
+        os.environ["REPRO_JOBS"] = str(args.jobs)
+    if args.results_dir is not None:
+        os.environ["REPRO_RESULTS_DIR"] = args.results_dir
 
     if args.experiment == "bench":
         from repro.bench import run_bench

@@ -21,6 +21,7 @@ import os
 import platform
 import random
 import sys
+import tempfile
 import time
 from time import perf_counter
 from typing import Any, Dict, Optional
@@ -134,6 +135,48 @@ def _bench_routing(
         "chain_keys": chain_keys,
         "chain_hops": hops,
         "next_hop_ops_per_sec": hops / chain_s,
+    }
+
+
+def _bench_store(repeat: int = 3) -> Dict[str, Any]:
+    """Result-store round trip: serialize/write and read/rebuild one
+    tiny ``DeliveryResult``, verifying the content digest survives.
+
+    The store is the runner's resume mechanism (docs/RUNNER.md); a
+    slow or lossy round trip would silently tax every sweep, so the
+    tracked harness times it and the CI gate asserts exactness.
+    """
+    import shutil
+
+    from repro.experiments.common import DeliveryConfig, run_delivery
+    from repro.runner import ResultStore, result_digest
+
+    cfg = DeliveryConfig(num_nodes=80, num_events=80, subs_per_node=5)
+    result = run_delivery(cfg, use_cache=False)
+    tmp = tempfile.mkdtemp(prefix="repro-bench-store-")
+    try:
+        store = ResultStore(tmp)
+        put_s = float("inf")
+        get_s = float("inf")
+        for _ in range(repeat):
+            t0 = perf_counter()
+            key = store.put(result)
+            put_s = min(put_s, perf_counter() - t0)
+            t0 = perf_counter()
+            loaded = store.get(cfg)
+            get_s = min(get_s, perf_counter() - t0)
+        roundtrip_ok = (
+            loaded is not None
+            and result_digest(loaded) == result_digest(result)
+        )
+        size_kb = store.path_for(key).stat().st_size / 1024.0
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+    return {
+        "put_ms": put_s * 1e3,
+        "get_ms": get_s * 1e3,
+        "entry_kb": size_kb,
+        "roundtrip_ok": bool(roundtrip_ok),
     }
 
 
@@ -258,6 +301,9 @@ def validate_bench(data: Dict[str, Any]) -> Dict[str, bool]:
         "route_cache_hits": (
             macro["cache_on"]["route_cache_stats"]["hit_rate"] > 0.0
         ),
+        "store_roundtrip": bool(
+            micro.get("store", {}).get("roundtrip_ok", True)
+        ),
         "deliveries_unchanged": (
             macro["cache_on"]["deliveries"] == macro["cache_off"]["deliveries"]
         ),
@@ -280,6 +326,7 @@ def run_bench(out_path: str, telemetry_dir: Optional[str] = None) -> int:
         "scheduler": _bench_scheduler(),
         "routing": _bench_routing(),
         "matching": _bench_matching(),
+        "store": _bench_store(),
     }
     macro = _bench_macro(num_nodes, num_events, tel_dir)
 
@@ -317,6 +364,9 @@ def run_bench(out_path: str, telemetry_dir: Optional[str] = None) -> int:
         f"{r['closest_preceding_speedup']:.1f}x)\n"
         f"matching      grid {micro['matching']['grid_speedup']:.1f}x over "
         f"linear at {micro['matching']['boxes']} boxes\n"
+        f"store         put {micro['store']['put_ms']:.1f}ms / get "
+        f"{micro['store']['get_ms']:.1f}ms "
+        f"({micro['store']['entry_kb']:.0f} KB/entry)\n"
         f"macro         {m['wall_seconds']:.2f}s "
         f"({m['events_per_sec']:,.0f} events/s), route-cache hit rate "
         f"{m['route_cache_stats']['hit_rate']:.3f}, "

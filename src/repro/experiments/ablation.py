@@ -27,8 +27,8 @@ from repro.core.config import HyperSubConfig
 from repro.core.scheme import Attribute, Scheme
 from repro.core.subscription import Predicate, Subscription
 from repro.core.system import HyperSubSystem
-from repro.experiments.common import DeliveryConfig, run_delivery, scale_from_env
-from repro.workloads import WorkloadGenerator, default_paper_spec
+from repro.experiments.common import DeliveryConfig, scale_from_env
+from repro.runner import map_configs
 
 
 @dataclass
@@ -52,9 +52,27 @@ def run(num_nodes: int | None = None, num_events: int | None = None) -> Ablation
     rows: List[List[object]] = []
     report = ShapeReport("A1 ablations")
 
+    # ---- delivery-config points, one runner batch -----------------------
+    # PNS on/off plus the three direct-rendezvous radii are independent
+    # DeliveryConfig points; one map_configs call lets the process pool
+    # (and the result store) handle all five.  The runner dedupes the
+    # PNS-on point against R=8 (they are the same configuration).
+    r_levels = (0, 8, 20)
+    delivery_cfgs = [
+        DeliveryConfig(num_nodes=num_nodes, num_events=num_events, pns=True),
+        DeliveryConfig(num_nodes=num_nodes, num_events=num_events, pns=False),
+    ] + [
+        DeliveryConfig(
+            num_nodes=num_nodes, num_events=num_events,
+            direct_rendezvous_levels=r_level,
+        )
+        for r_level in r_levels
+    ]
+    delivery_runs = map_configs(delivery_cfgs, label="ablation")
+    pns_on, pns_off = delivery_runs[0], delivery_runs[1]
+    r_runs = dict(zip(r_levels, delivery_runs[2:]))
+
     # ---- PNS on/off -----------------------------------------------------
-    pns_on = run_delivery(DeliveryConfig(num_nodes=num_nodes, num_events=num_events, pns=True))
-    pns_off = run_delivery(DeliveryConfig(num_nodes=num_nodes, num_events=num_events, pns=False))
     rows += [
         ["PNS", "on", "avg max latency ms", pns_on.max_latency_ms.mean],
         ["PNS", "off", "avg max latency ms", pns_off.max_latency_ms.mean],
@@ -71,14 +89,7 @@ def run(num_nodes: int | None = None, num_events: int | None = None) -> Ablation
     )
 
     # ---- direct-rendezvous radius R --------------------------------------
-    r_runs = {}
-    for r_level in (0, 8, 20):
-        r_runs[r_level] = run_delivery(
-            DeliveryConfig(
-                num_nodes=num_nodes, num_events=num_events,
-                direct_rendezvous_levels=r_level,
-            )
-        )
+    for r_level in r_levels:
         rows += [
             ["R (direct rendezvous)", str(r_level), "stored entries",
              int(r_runs[r_level].loads.sum())],

@@ -11,7 +11,7 @@ accounting and reports delivery cost plus node-load concentration.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import List, Tuple
 
 import numpy as np
 
@@ -25,6 +25,7 @@ from repro.baselines import (
 from repro.core.config import HyperSubConfig
 from repro.core.system import HyperSubSystem
 from repro.experiments.common import scale_from_env
+from repro.runner import map_tasks
 from repro.sim.topology import KingLikeTopology
 from repro.workloads import WorkloadGenerator, default_paper_spec
 
@@ -90,88 +91,67 @@ def _summarise(name, metrics, loads, in_bw_kb, out_bw_kb) -> SystemSummary:
     )
 
 
+def _run_baseline_system(args: Tuple[str, int, int]) -> SystemSummary:
+    """Build, load and drive one system (top-level: pool-picklable).
+
+    Every system shares a topology seed and an identical workload
+    stream (same generator seed => same subscriptions and events), so
+    the four summaries are comparable no matter which process computed
+    them.
+    """
+    which, num_nodes, num_events = args
+    spec = default_paper_spec()
+    gen = WorkloadGenerator(spec, seed=7)
+    topo = KingLikeTopology(num_nodes, seed=1)
+
+    if which == "hypersub":
+        hs = HyperSubSystem(
+            topology=topo,
+            config=HyperSubConfig(base=2, seed=1, direct_rendezvous_levels=8),
+        )
+        hs.add_scheme(gen.scheme)
+        gen.populate(hs)
+        hs.finish_setup()
+        gen.schedule_events(hs, count=num_events)
+        hs.run_until_idle()
+        return _summarise(
+            "HyperSub (base 2)", hs.metrics, hs.node_loads(),
+            hs.in_bandwidth_kb(), hs.out_bandwidth_kb(),
+        )
+
+    name, system = {
+        "meghdoot": ("Meghdoot (CAN 8-d)", MeghdootSystem),
+        "central": ("Central rendezvous", CentralRendezvousSystem),
+        "scribe": ("Scribe topics (Tam)", ScribeContentSystem),
+    }[which]
+    sys_ = system(gen.scheme, topology=topo)
+    for addr in range(num_nodes):
+        for _ in range(spec.subs_per_node):
+            sys_.subscribe(addr, gen.subscription())
+    sys_.finish_setup()
+    gen.schedule_events(sys_, count=num_events)
+    sys_.run_until_idle()
+    return _summarise(
+        name, sys_.metrics, sys_.node_loads(),
+        sys_.network.stats.in_bytes / 1024.0,
+        sys_.network.stats.out_bytes / 1024.0,
+    )
+
+
 def run(num_nodes: int | None = None, num_events: int | None = None) -> BaselineResult:
     n, e = scale_from_env()
     num_nodes = num_nodes or n
     num_events = num_events or e
 
-    spec = default_paper_spec()
-    summaries: List[SystemSummary] = []
-
-    # The three systems share a topology seed and an identical workload
-    # stream (same generator seed => same subscriptions and events).
-    def make_gen():
-        return WorkloadGenerator(spec, seed=7)
-
-    topo = lambda: KingLikeTopology(num_nodes, seed=1)
-
-    # -- HyperSub -------------------------------------------------------
-    gen = make_gen()
-    hs = HyperSubSystem(
-        topology=topo(),
-        config=HyperSubConfig(base=2, seed=1, direct_rendezvous_levels=8),
-    )
-    hs.add_scheme(gen.scheme)
-    gen.populate(hs)
-    hs.finish_setup()
-    gen.schedule_events(hs, count=num_events)
-    hs.run_until_idle()
-    summaries.append(
-        _summarise(
-            "HyperSub (base 2)", hs.metrics, hs.node_loads(),
-            hs.in_bandwidth_kb(), hs.out_bandwidth_kb(),
-        )
-    )
-
-    # -- Meghdoot ---------------------------------------------------------
-    gen = make_gen()
-    mg = MeghdootSystem(gen.scheme, topology=topo())
-    for addr in range(num_nodes):
-        for _ in range(spec.subs_per_node):
-            mg.subscribe(addr, gen.subscription())
-    mg.finish_setup()
-    gen.schedule_events(mg, count=num_events)
-    mg.run_until_idle()
-    summaries.append(
-        _summarise(
-            "Meghdoot (CAN 8-d)", mg.metrics, mg.node_loads(),
-            mg.network.stats.in_bytes / 1024.0,
-            mg.network.stats.out_bytes / 1024.0,
-        )
-    )
-
-    # -- Central rendezvous ----------------------------------------------
-    gen = make_gen()
-    cv = CentralRendezvousSystem(gen.scheme, topology=topo())
-    for addr in range(num_nodes):
-        for _ in range(spec.subs_per_node):
-            cv.subscribe(addr, gen.subscription())
-    cv.finish_setup()
-    gen.schedule_events(cv, count=num_events)
-    cv.run_until_idle()
-    summaries.append(
-        _summarise(
-            "Central rendezvous", cv.metrics, cv.node_loads(),
-            cv.network.stats.in_bytes / 1024.0,
-            cv.network.stats.out_bytes / 1024.0,
-        )
-    )
-
-    # -- Scribe content adapter (Tam et al. style) -------------------------
-    gen = make_gen()
-    sc = ScribeContentSystem(gen.scheme, topology=topo())
-    for addr in range(num_nodes):
-        for _ in range(spec.subs_per_node):
-            sc.subscribe(addr, gen.subscription())
-    sc.finish_setup()
-    gen.schedule_events(sc, count=num_events)
-    sc.run_until_idle()
-    summaries.append(
-        _summarise(
-            "Scribe topics (Tam)", sc.metrics, sc.node_loads(),
-            sc.network.stats.in_bytes / 1024.0,
-            sc.network.stats.out_bytes / 1024.0,
-        )
+    # The four systems are independent: fan them out over the runner's
+    # process pool (REPRO_JOBS / --jobs), in a fixed comparison order.
+    summaries: List[SystemSummary] = map_tasks(
+        _run_baseline_system,
+        [
+            (which, num_nodes, num_events)
+            for which in ("hypersub", "meghdoot", "central", "scribe")
+        ],
+        label="baselines",
     )
 
     hs_s, mg_s, cv_s, sc_s = summaries

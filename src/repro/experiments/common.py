@@ -2,13 +2,17 @@
 
 ``run_delivery`` builds a HyperSub deployment, installs the Table-1
 workload, optionally runs the dynamic load balancer, publishes a
-Poisson event stream and returns every series the figures need.  An
-in-process memo cache keyed on the full configuration lets Figures 2,
-3 and 4 (which all read the same four runs) share work.
+Poisson event stream and returns every series the figures need.  Two
+cache layers let Figures 2, 3 and 4 (which all read the same four
+runs) share work: an in-process memo keyed on the full configuration,
+backed by the persistent on-disk :class:`repro.runner.ResultStore`
+(``out/results/`` by default) that also shares runs across processes
+and across invocations -- a killed sweep resumes from it.
 """
 
 from __future__ import annotations
 
+import math
 import os
 import time
 from dataclasses import dataclass
@@ -37,10 +41,32 @@ _SCALES: Dict[str, Tuple[int, int]] = {
 }
 
 
+def _positive_int_env(name: str, default: int) -> int:
+    """Parse an override env var, failing fast with the var's name.
+
+    Zero, negative and non-integer values used to flow through and blow
+    up deep inside system setup; validating at parse time turns that
+    into an actionable one-line error.
+    """
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"{name} must be an integer, got {raw!r}"
+        ) from None
+    if value <= 0:
+        raise ValueError(f"{name} must be a positive integer, got {value}")
+    return value
+
+
 def scale_from_env(default: str = "bench") -> Tuple[int, int]:
     """Resolve ``(num_nodes, num_events)`` from ``REPRO_SCALE``.
 
-    ``REPRO_NODES`` / ``REPRO_EVENTS`` override individual values.
+    ``REPRO_NODES`` / ``REPRO_EVENTS`` override individual values;
+    both must be positive integers.
     """
     name = os.environ.get("REPRO_SCALE", default)
     if name not in _SCALES:
@@ -48,8 +74,8 @@ def scale_from_env(default: str = "bench") -> Tuple[int, int]:
             f"unknown REPRO_SCALE {name!r}; pick one of {sorted(_SCALES)}"
         )
     nodes, events = _SCALES[name]
-    nodes = int(os.environ.get("REPRO_NODES", nodes))
-    events = int(os.environ.get("REPRO_EVENTS", events))
+    nodes = _positive_int_env("REPRO_NODES", nodes)
+    events = _positive_int_env("REPRO_EVENTS", events)
     return nodes, events
 
 
@@ -74,7 +100,11 @@ class DeliveryConfig:
 
     @property
     def label(self) -> str:
-        geometry_levels = self.code_bits // (self.base.bit_length() - 1)
+        # Digits of base-`base` that fit in `code_bits` bits.  The old
+        # `code_bits // (base.bit_length() - 1)` is only right for
+        # powers of two (base 3 divided by 1 and reported level 20
+        # instead of ~12); log2 handles every base >= 2.
+        geometry_levels = int(self.code_bits / math.log2(self.base))
         lb = "LB" if self.lb else "no LB"
         return f"Base {self.base},level {geometry_levels},{lb}"
 
@@ -111,9 +141,26 @@ def run_delivery(
     spec: Optional[WorkloadSpec] = None,
     use_cache: bool = True,
 ) -> DeliveryResult:
-    """Execute one full delivery experiment (or return the memoised run)."""
+    """Execute one full delivery experiment (or return the cached run).
+
+    Cache resolution: the in-process memo first, then the persistent
+    result store (see :mod:`repro.runner`); a fresh run is written
+    through to both.  ``use_cache=False`` bypasses reads *and* writes.
+    """
     if use_cache and spec is None and cfg in _memo:
         return _memo[cfg]
+
+    # Imported here: repro.runner imports this module at load time.
+    from repro import runner as _runner
+
+    store = _runner.default_store() if use_cache else None
+    if store is not None:
+        cached = store.get(cfg, spec)
+        if cached is not None:
+            _record_delivery_telemetry(cfg, cached, cache_hit=True)
+            if spec is None:
+                _memo[cfg] = cached
+            return cached
 
     t0 = time.time()
     workload = spec or default_paper_spec(subs_per_node=cfg.subs_per_node)
@@ -165,24 +212,34 @@ def run_delivery(
         avg_rtt_ms=system.topology.mean_rtt(20_000),
         wall_seconds=time.time() - t0,
     )
-    tel = current_session()
-    if tel is not None:
-        # One headline block per configuration in the run manifest.
-        tel.record_result(
-            f"delivery[{cfg.label}]",
-            {
-                "num_nodes": cfg.num_nodes,
-                "num_events": cfg.num_events,
-                "mean_max_hops": result.max_hops.mean,
-                "mean_max_latency_ms": result.max_latency_ms.mean,
-                "mean_bandwidth_kb": result.bandwidth_kb.mean,
-                "total_subscriptions": result.total_subscriptions,
-                "wall_seconds": result.wall_seconds,
-            },
-        )
+    _record_delivery_telemetry(cfg, result, cache_hit=False)
+    if store is not None:
+        store.put(result, spec)
     if use_cache and spec is None:
         _memo[cfg] = result
     return result
+
+
+def _record_delivery_telemetry(
+    cfg: DeliveryConfig, result: "DeliveryResult", cache_hit: bool
+) -> None:
+    """One headline block per configuration in the run manifest."""
+    tel = current_session()
+    if tel is None:
+        return
+    tel.record_result(
+        f"delivery[{cfg.label}]",
+        {
+            "num_nodes": cfg.num_nodes,
+            "num_events": cfg.num_events,
+            "mean_max_hops": result.max_hops.mean,
+            "mean_max_latency_ms": result.max_latency_ms.mean,
+            "mean_bandwidth_kb": result.bandwidth_kb.mean,
+            "total_subscriptions": result.total_subscriptions,
+            "wall_seconds": result.wall_seconds,
+            "from_store": cache_hit,
+        },
+    )
 
 
 def clear_cache() -> None:

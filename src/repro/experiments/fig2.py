@@ -23,9 +23,9 @@ from repro.experiments.common import (
     DeliveryConfig,
     DeliveryResult,
     figure2_configs,
-    run_delivery,
     scale_from_env,
 )
+from repro.runner import map_configs
 
 #: The paper's reported averages (for EXPERIMENTS.md's comparison rows).
 PAPER_AVG = {
@@ -158,7 +158,7 @@ def run(num_nodes: int | None = None, num_events: int | None = None) -> Figure2R
     n, e = scale_from_env()
     num_nodes = num_nodes or n
     num_events = num_events or e
-    runs = [run_delivery(c) for c in figure2_configs(num_nodes, num_events)]
+    runs = map_configs(figure2_configs(num_nodes, num_events), label="fig2")
     return Figure2Result(runs=runs, report=check_shapes(runs))
 
 

@@ -17,9 +17,9 @@ from repro.analysis.tables import format_cdf_table, format_table
 from repro.experiments.common import (
     DeliveryResult,
     figure2_configs,
-    run_delivery,
     scale_from_env,
 )
+from repro.runner import map_configs
 from repro.sim.stats import Distribution
 
 
@@ -93,10 +93,9 @@ def check_shapes(runs: List[DeliveryResult]) -> ShapeReport:
 
 def run(num_nodes: int | None = None, num_events: int | None = None) -> Figure3Result:
     n, e = scale_from_env()
-    runs = [
-        run_delivery(c)
-        for c in figure2_configs(num_nodes or n, num_events or e)
-    ]
+    runs = map_configs(
+        figure2_configs(num_nodes or n, num_events or e), label="fig3"
+    )
     return Figure3Result(runs=runs, report=check_shapes(runs))
 
 

@@ -19,7 +19,8 @@ import numpy as np
 from repro.analysis.compare import ShapeReport
 from repro.analysis.plots import ascii_series_plot
 from repro.analysis.tables import format_series
-from repro.experiments.common import DeliveryConfig, run_delivery
+from repro.experiments.common import DeliveryConfig
+from repro.runner import map_configs
 
 #: Default sweep for the benchmark harness; REPRO_SCALE=paper uses the
 #: paper's 2k..16k.
@@ -31,9 +32,25 @@ def sweep_sizes() -> Sequence[int]:
     if os.environ.get("REPRO_SCALE") == "paper":
         return PAPER_SIZES
     if "REPRO_FIG5_SIZES" in os.environ:
-        return tuple(
-            int(s) for s in os.environ["REPRO_FIG5_SIZES"].split(",")
-        )
+        raw = os.environ["REPRO_FIG5_SIZES"]
+        sizes = []
+        for token in raw.split(","):
+            token = token.strip()
+            if not token:
+                continue
+            try:
+                sizes.append(int(token))
+            except ValueError:
+                raise ValueError(
+                    f"REPRO_FIG5_SIZES must be a comma-separated list of "
+                    f"integers, got {raw!r}"
+                ) from None
+        if not sizes:
+            raise ValueError(
+                f"REPRO_FIG5_SIZES={raw!r} contains no sizes; set e.g. "
+                "REPRO_FIG5_SIZES=500,1000 or unset it for the defaults"
+            )
+        return tuple(sizes)
     return BENCH_SIZES
 
 
@@ -80,7 +97,15 @@ class Figure5Result:
 
 def check_shapes(sizes: List[int], by_config: Dict[str, List]) -> ShapeReport:
     report = ShapeReport("Figure 5")
-    no_lb = next(runs for label, runs in by_config.items() if "no LB" in label)
+    try:
+        no_lb = next(
+            runs for label, runs in by_config.items() if "no LB" in label
+        )
+    except StopIteration:
+        raise ValueError(
+            "Figure 5's shape checks need a 'no LB' configuration; got "
+            f"only {sorted(by_config)} -- include an lb=False sweep"
+        ) from None
     growth = sizes[-1] / sizes[0]
     for metric, name in [
         ("max_hops", "max hops"),
@@ -126,21 +151,33 @@ def run(
     sizes: Sequence[int] | None = None,
     num_events: int | None = None,
     subs_per_node: int = 10,
+    jobs: int | None = None,
 ) -> Figure5Result:
-    sizes = list(sizes or sweep_sizes())
+    sizes = list(sizes if sizes is not None else sweep_sizes())
+    if not sizes:
+        raise ValueError(
+            "Figure 5 needs at least one network size; the sweep is empty "
+            "(check REPRO_FIG5_SIZES or the explicit `sizes` argument)"
+        )
     num_events = num_events or int(os.environ.get("REPRO_EVENTS", 400))
+    # One flat batch over (lb, size): every point is independent, so the
+    # runner can fan the whole figure out across workers at once.
+    lb_values = (False, True)
+    configs = [
+        DeliveryConfig(
+            num_nodes=n,
+            num_events=num_events,
+            subs_per_node=subs_per_node,
+            base=2,
+            lb=lb,
+        )
+        for lb in lb_values
+        for n in sizes
+    ]
+    results = map_configs(configs, jobs=jobs, label="fig5")
     by_config: Dict[str, List] = {}
-    for lb in (False, True):
-        runs = []
-        for n in sizes:
-            cfg = DeliveryConfig(
-                num_nodes=n,
-                num_events=num_events,
-                subs_per_node=subs_per_node,
-                base=2,
-                lb=lb,
-            )
-            runs.append(run_delivery(cfg))
+    for i, lb in enumerate(lb_values):
+        runs = results[i * len(sizes):(i + 1) * len(sizes)]
         by_config[runs[0].label] = runs
     return Figure5Result(
         sizes=sizes,

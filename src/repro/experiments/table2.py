@@ -10,14 +10,21 @@ scalability sweep (Figure 5) runs on.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import List, Sequence, Tuple
 
 from repro.analysis.compare import ShapeReport
 from repro.analysis.tables import format_series
+from repro.runner import map_tasks
 from repro.sim.topology import KingLikeTopology
 
 #: Network sizes (x 10^3) of the paper's scalability experiments.
 PAPER_SIZES_K: Sequence[int] = (2, 4, 6, 8, 10, 12, 14, 16)
+
+
+def _rtt_point(args: Tuple[int, int]) -> float:
+    """Mean RTT of one simulated network (top-level: pool-picklable)."""
+    size, seed = args
+    return KingLikeTopology(size, seed=seed).mean_rtt(30_000)
 
 
 @dataclass
@@ -44,10 +51,9 @@ class Table2Result:
 
 def run(sizes: Sequence[int] | None = None, seed: int = 1) -> Table2Result:
     sizes = list(sizes or [k * 1000 for k in PAPER_SIZES_K])
-    avg = []
-    for n in sizes:
-        topo = KingLikeTopology(n, seed=seed)
-        avg.append(topo.mean_rtt(30_000))
+    # Each network is built and measured independently; fan the sizes
+    # out over the runner's process pool (REPRO_JOBS / --jobs).
+    avg = map_tasks(_rtt_point, [(n, seed) for n in sizes], label="table2")
     report = ShapeReport("Table 2")
     for n, rtt in zip(sizes, avg):
         report.expect_within(

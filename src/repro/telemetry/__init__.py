@@ -17,6 +17,7 @@ See docs/OBSERVABILITY.md for the metric catalogue and trace schema.
 from repro.telemetry.manifest import (
     REQUIRED_METRICS,
     load_manifest,
+    merge_manifests,
     validate_manifest,
     write_manifest,
 )
@@ -50,6 +51,7 @@ __all__ = [
     "current_session",
     "edges_from_spans",
     "load_manifest",
+    "merge_manifests",
     "read_jsonl",
     "render_span_tree",
     "set_session",

@@ -87,6 +87,53 @@ def load_manifest(path) -> Dict[str, Any]:
     return json.loads(Path(path).read_text(encoding="utf-8"))
 
 
+def merge_manifests(manifests: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Combine several (worker) manifests into one aggregate view.
+
+    Used by the parallel sweep runner: each pool worker runs under its
+    own :class:`~repro.telemetry.session.TelemetrySession` and ships its
+    manifest back to the parent.  Merge semantics:
+
+    * ``runs`` / ``results`` / ``extra`` -- concatenated / key-merged;
+    * counters -- summed (they are per-run tallies);
+    * gauges -- element-wise max (a conservative "worst seen" view);
+    * histograms -- total ``n`` plus max-of-max (exact percentiles are
+      not recoverable from summaries; the per-worker manifests keep
+      them);
+    * ``wall_seconds`` -- summed (total compute), with the per-worker
+      values preserved under ``worker_wall_seconds``.
+    """
+    merged: Dict[str, Any] = {
+        "runs": [],
+        "results": {},
+        "extra": {},
+        "metrics": {"counters": {}, "gauges": {}, "histograms": {}},
+        "wall_seconds": 0.0,
+        "worker_wall_seconds": [],
+        "workers": len(manifests),
+    }
+    counters = merged["metrics"]["counters"]
+    gauges = merged["metrics"]["gauges"]
+    histograms = merged["metrics"]["histograms"]
+    for m in manifests:
+        merged["runs"].extend(m.get("runs", []))
+        merged["results"].update(m.get("results", {}))
+        merged["extra"].update(m.get("extra", {}))
+        wall = float(m.get("wall_seconds", 0.0))
+        merged["wall_seconds"] += wall
+        merged["worker_wall_seconds"].append(wall)
+        metrics = m.get("metrics", {})
+        for name, value in metrics.get("counters", {}).items():
+            counters[name] = counters.get(name, 0.0) + value
+        for name, value in metrics.get("gauges", {}).items():
+            gauges[name] = max(gauges.get(name, value), value)
+        for name, summ in metrics.get("histograms", {}).items():
+            agg = histograms.setdefault(name, {"n": 0, "max": 0.0})
+            agg["n"] += int(summ.get("n", 0))
+            agg["max"] = max(agg["max"], float(summ.get("max", 0.0)))
+    return merged
+
+
 def validate_manifest(manifest: Dict[str, Any]) -> List[str]:
     """Structural check; returns human-readable problems (empty = OK)."""
     problems: List[str] = []

@@ -100,6 +100,29 @@ class TelemetrySession:
                 value = asdict(value)
             self.extra[key] = value
 
+    def merge_child_manifest(self, manifest: Dict[str, Any]) -> None:
+        """Absorb one worker session's manifest (parallel sweeps).
+
+        The child's systems join ``runs``, its result summaries join
+        ``results`` (child keys win only where the parent has none),
+        its counters are *summed* into this session's registry and its
+        gauges folded in with max -- so a sweep fanned out over a
+        process pool still produces one parent manifest carrying the
+        aggregate ``events.published``, drop counters, etc.
+        """
+        self.runs.extend(manifest.get("runs", []))
+        for name, summary in manifest.get("results", {}).items():
+            self.results.setdefault(name, dict(summary))
+        metrics = manifest.get("metrics", {})
+        for name, value in metrics.get("counters", {}).items():
+            if value:
+                self.registry.counter(name).inc(float(value))
+            else:
+                self.registry.counter(name)  # presence matters too
+        for name, value in metrics.get("gauges", {}).items():
+            gauge = self.registry.gauge(name)
+            gauge.set(max(gauge.value, float(value)))
+
     # -- output ------------------------------------------------------------
     def build_manifest(self, command: Optional[str] = None) -> Dict[str, Any]:
         command = command if command is not None else self.command

@@ -1,0 +1,16 @@
+"""Shared fixtures.
+
+Every test gets a private, empty result store (``REPRO_RESULTS_DIR``
+pointed at a per-test temp dir): the persistent store is *designed* to
+survive across invocations, which is exactly what a test suite must
+not depend on -- a stale entry from an older code version would mask a
+behaviour change.  Tests that exercise persistence manage their own
+store directories explicitly.
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _isolated_result_store(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "results"))

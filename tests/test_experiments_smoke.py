@@ -154,3 +154,60 @@ class TestDrivers:
         )
         assert len(res.max_load_static) == 3
         assert "D1" in res.render()
+
+
+class TestSatelliteRegressions:
+    """Regression tests for the sweep-harness bugfixes (PR 5)."""
+
+    def test_label_levels_for_every_base(self):
+        """The level count is code_bits/log2(base), not a power-of-two
+        table lookup: base 3 has 12 full digits in a 20-bit code."""
+        import math
+
+        expected = {2: 20, 3: 12, 4: 10, 5: 8, 6: 7, 7: 7, 8: 6}
+        for base in range(2, 9):
+            cfg = DeliveryConfig(base=base, lb=False)
+            levels = int(cfg.code_bits / math.log2(base))
+            assert levels == expected[base]
+            assert cfg.label == f"Base {base},level {levels},no LB"
+
+    @pytest.mark.parametrize("var", ["REPRO_NODES", "REPRO_EVENTS"])
+    @pytest.mark.parametrize("raw", ["0", "-3", "abc", "2.5", ""])
+    def test_scale_env_validated_at_parse_time(self, monkeypatch, var, raw):
+        monkeypatch.setenv(var, raw)
+        with pytest.raises(ValueError, match=var):
+            common.scale_from_env()
+
+    def test_fig5_sizes_env_bad_token(self, monkeypatch):
+        from repro.experiments import fig5
+
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        monkeypatch.setenv("REPRO_FIG5_SIZES", "500,10x0")
+        with pytest.raises(ValueError, match="REPRO_FIG5_SIZES"):
+            fig5.sweep_sizes()
+
+    @pytest.mark.parametrize("raw", ["", " ", ",,"])
+    def test_fig5_sizes_env_empty(self, monkeypatch, raw):
+        from repro.experiments import fig5
+
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        monkeypatch.setenv("REPRO_FIG5_SIZES", raw)
+        with pytest.raises(ValueError, match="REPRO_FIG5_SIZES"):
+            fig5.sweep_sizes()
+
+    def test_fig5_rejects_explicit_empty_sweep(self):
+        """An explicitly empty `sizes` is a misconfiguration, not a cue
+        to silently fall back to the defaults (the old code crashed
+        later with an IndexError)."""
+        from repro.experiments import fig5
+
+        with pytest.raises(ValueError, match="at least one network size"):
+            fig5.run(sizes=[], num_events=10)
+
+    def test_fig5_shape_checks_need_no_lb_config(self):
+        """check_shapes on a sweep without an lb=False configuration
+        raised a bare StopIteration; now it names the misconfiguration."""
+        from repro.experiments import fig5
+
+        with pytest.raises(ValueError, match="no LB"):
+            fig5.check_shapes([60, 120], {"Base 2,level 20,LB": []})
