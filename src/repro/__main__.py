@@ -52,13 +52,17 @@ EXPERIMENTS = {
     "overload": (
         "repro.experiments.overload", "R3: overload protection under storms"
     ),
+    "guarantees": (
+        "repro.experiments.guarantees",
+        "G1: delivery guarantees (durable/fifo/causal) under faults",
+    ),
 }
 
 #: everything `all` runs (table1 has no driver; fig2-4 share cached runs)
 RUN_ORDER = [
     "fig2", "fig3", "fig4", "table2", "fig5",
     "baselines", "ablation", "churn", "piggyback", "dynamic", "install",
-    "heterogeneous", "reliability", "recovery", "overload",
+    "heterogeneous", "reliability", "recovery", "overload", "guarantees",
 ]
 
 

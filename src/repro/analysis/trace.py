@@ -96,11 +96,13 @@ def transport_summary(stats) -> Dict[str, int]:
         "retransmissions": stats.retransmissions,
         "gave_up_packets": stats.gave_up,
         "gave_up_subids": stats.gave_up_subids,
+        "gave_up_by_cause": stats.gave_up_by_cause,
         "busy_backoffs": stats.busy_backoffs,
         "shed": stats.shed,
         "breaker_opens": stats.breaker_opens,
         "dropped": stats.dropped,
         "dropped_by_cause": stats.dropped_by_cause,
+        "durable": stats.durable_counts,
         "msgs_by_kind": dict(sorted(stats.msgs_by_kind.items())),
     }
 
@@ -112,6 +114,14 @@ def render_transport_summary(stats) -> str:
         f"{s['gave_up_packets']} packets abandoned "
         f"({s['gave_up_subids']} subids at risk)"
     ]
+    causes = {c: n for c, n in s["gave_up_by_cause"].items() if n}
+    if causes:
+        per_cause = ", ".join(f"{c} x{n}" for c, n in sorted(causes.items()))
+        lines.append(f"gave up: {per_cause}")
+    dur = {c: n for c, n in s["durable"].items() if n}
+    if dur:
+        per = ", ".join(f"{c} x{n}" for c, n in sorted(dur.items()))
+        lines.append(f"durable: {per}")
     if s["busy_backoffs"] or s["shed"] or s["breaker_opens"]:
         lines.append(
             f"overload: {s['shed']} shed, {s['busy_backoffs']} busy "
@@ -137,6 +147,160 @@ def edges_from_trace(spans: Iterable[dict], event_id: int) -> List[Tuple[int, in
     from repro.telemetry.tracing import edges_from_spans
 
     return edges_from_spans(spans, event_id)
+
+
+def _span_view(span) -> Tuple[str, float, int, int, int, dict]:
+    """Normalise a :class:`Span` object or an exported JSONL dict."""
+    if isinstance(span, dict):
+        return (
+            span.get("kind"),
+            span.get("t", 0.0),
+            span.get("sid", 0),
+            span.get("node"),
+            span.get("event"),
+            span.get("attrs", {}),
+        )
+    return span.kind, span.t, span.sid, span.node, span.event, span.attrs
+
+
+def _order_views(spans: Iterable) -> Tuple[dict, dict]:
+    """Replay a trace into per-event publish info and per-subscriber
+    delivery sequences.
+
+    Returns ``(publishes, deliveries)``: ``publishes`` maps event id to
+    ``{"pub", "t", "sid", "pseq", "deps"}`` from its ``publish`` span;
+    ``deliveries`` maps ``(nid, iid)`` to the event ids delivered to
+    that subscription, in delivery order (simulated time, then span id
+    -- span ids are allocated in execution order, so ties within one
+    simulated instant resolve to the true processing order).
+    """
+    publishes: Dict[int, dict] = {}
+    deliveries: Dict[Tuple[int, int], List[Tuple[float, int, int]]] = {}
+    for span in spans:
+        kind, t, sid, node, event, attrs = _span_view(span)
+        if kind == "publish":
+            publishes[event] = {
+                "pub": node,
+                "t": t,
+                "sid": sid,
+                "pseq": attrs.get("pseq"),
+                "deps": attrs.get("deps") or [],
+            }
+        elif kind == "deliver":
+            subid = tuple(attrs["subid"])
+            deliveries.setdefault(subid, []).append((t, sid, event))
+    ordered = {
+        subid: [eid for _t, _sid, eid in sorted(seq)]
+        for subid, seq in deliveries.items()
+    }
+    return publishes, ordered
+
+
+def check_fifo_order(spans: Iterable) -> List[dict]:
+    """Publisher-FIFO oracle over a span trace.
+
+    A violation is a subscription that observed two events of the same
+    publisher out of publish order.  Publish order is reconstructed
+    from the ``publish`` spans (time, then span id), so the oracle is
+    protocol-independent: it never looks at sequence numbers the
+    implementation may have assigned.
+    """
+    publishes, deliveries = _order_views(spans)
+    index: Dict[int, Tuple[int, int]] = {}
+    counters: Dict[int, int] = {}
+    for eid, info in sorted(
+        publishes.items(), key=lambda kv: (kv[1]["t"], kv[1]["sid"])
+    ):
+        pub = info["pub"]
+        counters[pub] = counters.get(pub, 0) + 1
+        index[eid] = (pub, counters[pub])
+    violations: List[dict] = []
+    for subid, seq in deliveries.items():
+        high: Dict[int, Tuple[int, int]] = {}  # pub -> (index, event)
+        for eid in seq:
+            if eid not in index:
+                continue  # delivered event published outside the trace
+            pub, i = index[eid]
+            prev = high.get(pub)
+            if prev is not None and i < prev[0]:
+                violations.append(
+                    {
+                        "check": "fifo",
+                        "subid": list(subid),
+                        "publisher": pub,
+                        "event": eid,
+                        "after_event": prev[1],
+                    }
+                )
+            if prev is None or i > prev[0]:
+                high[pub] = (i, eid)
+    return violations
+
+
+def check_causal_order(spans: Iterable) -> List[dict]:
+    """Causal-order oracle over a span trace.
+
+    Requires the publish spans to carry ``pseq``/``deps`` attributes
+    (durable causal mode records them).  Checks, per subscription:
+
+    * publisher-FIFO by ``pseq`` (causal order contains FIFO), and
+    * for every delivered event ``e`` with a dependency ``(a, n)``: no
+      event of publisher ``a`` with ``pseq <= n`` may be delivered
+      *after* ``e`` -- the dependency happened-before ``e``, so a
+      subscription receiving both must see it first.
+    """
+    publishes, deliveries = _order_views(spans)
+    violations: List[dict] = []
+    for subid, seq in deliveries.items():
+        infos = [(eid, publishes.get(eid)) for eid in seq]
+        high: Dict[int, Tuple[int, int]] = {}
+        for eid, info in infos:
+            if info is None or info["pseq"] is None:
+                continue
+            pub, pseq = info["pub"], info["pseq"]
+            prev = high.get(pub)
+            if prev is not None and pseq < prev[0]:
+                violations.append(
+                    {
+                        "check": "causal-fifo",
+                        "subid": list(subid),
+                        "publisher": pub,
+                        "event": eid,
+                        "after_event": prev[1],
+                    }
+                )
+            if prev is None or pseq > prev[0]:
+                high[pub] = (pseq, eid)
+        for i, (eid, info) in enumerate(infos):
+            if info is None:
+                continue
+            for a, n in info["deps"]:
+                for later_eid, later in infos[i + 1:]:
+                    if (
+                        later is not None
+                        and later["pub"] == a
+                        and later["pseq"] is not None
+                        and later["pseq"] <= n
+                    ):
+                        violations.append(
+                            {
+                                "check": "causal-dep",
+                                "subid": list(subid),
+                                "event": eid,
+                                "dep": [a, n],
+                                "delivered_after": later_eid,
+                            }
+                        )
+    return violations
+
+
+def ordering_violations(spans: Iterable, ordering: str) -> List[dict]:
+    """Dispatch to the oracle matching a run's ``config.ordering``."""
+    if ordering == "fifo":
+        return check_fifo_order(spans)
+    if ordering == "causal":
+        return check_causal_order(spans)
+    return []
 
 
 def tree_stats(record) -> Dict[str, float]:

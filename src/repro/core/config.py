@@ -139,6 +139,51 @@ class HyperSubConfig:
     #: on a probe (ms).
     breaker_open_ms: float = 5_000.0
 
+    # -- delivery guarantees (extension; ROADMAP item 5) ------------------
+    #: Delivery tier on top of the reliable transport.  ``"best_effort"``
+    #: is the PR 1-3 stack unchanged: per-hop acks recover transient
+    #: loss, but a crash between rendezvous match and subscriber ack
+    #: (or retry/TTL/shed exhaustion) loses the delivery permanently
+    #: (``transport.gave_up``).  ``"durable"`` adds a custody-transfer
+    #: store-and-forward log (core/durability.py): the publisher and
+    #: every match site append what they owe downstream to a durable
+    #: per-entity log, retire entries only on *subscriber-level* acks
+    #: (distinct from packet-level acks), and periodically redeliver
+    #: whatever is still unacked -- through crash-rejoin and arc
+    #: migration (the log travels with the entity).  Requires
+    #: ``reliable_delivery``.  See docs/GUARANTEES.md.
+    delivery_mode: str = "best_effort"
+    #: Inter-event ordering guarantee, per scheme: ``"none"`` (any
+    #: interleaving), ``"fifo"`` (each subscriber sees each publisher's
+    #: matching events in publish order) or ``"causal"`` (FIFO plus
+    #: publish-after-deliver edges across publishers, VCube-PS-style
+    #: compact dependency metadata on event packets).  Ordered modes
+    #: require ``delivery_mode="durable"`` (gaps must be guaranteed to
+    #: fill, else a reorder buffer would wait forever) and the fully
+    #: direct topology (``direct_rendezvous_levels > max_level``) so
+    #: each subscription receives every matching event through a single
+    #: per-(publisher, key) stream and leaf zones are occupancy-tracked.
+    ordering: str = "none"
+    #: Per-node bound on retained durable-log entries.  Appending past
+    #: the budget truncates the oldest unacked entries -- counted in
+    #: ``durable.truncated`` and traced, never silent (a truncated
+    #: delivery is permanently lost, exactly like best-effort give-up).
+    durable_log_max_entries: int = 4096
+    #: Per-(publisher, stream) bound on out-of-order deliveries a
+    #: subscriber (or match site) parks while waiting for a gap to
+    #: fill.  Overflow drops the newest arrival *unacked* (counted in
+    #: ``durable.reorder_overflow``), so upstream redelivers it later.
+    reorder_buffer_max: int = 256
+    #: Period between redelivery scans of the unacked durable log (ms).
+    durable_redelivery_ms: float = 5_000.0
+    #: Ring-stabilization grace after a rejoin (ms): until it expires,
+    #: the rejoined node never *vacuously* acks key custody it holds no
+    #: repository for -- a stale predecessor pointer can wrap its
+    #: ``(pred, self]`` interval around keys whose repos live elsewhere,
+    #: and acking those would retire obligations the true owner still
+    #: serves.  Silent keys are simply redelivered after convergence.
+    durable_rejoin_grace_ms: float = 10_000.0
+
     # -- piggybacked maintenance (extension; paper Section 6) ------------
     #: Attach the sender's ring state (own id, predecessor, first
     #: successor) to every event-delivery packet.  Receivers absorb it
@@ -240,8 +285,35 @@ class HyperSubConfig:
             raise ValueError("anti_entropy_interval_ms must be positive")
         if self.route_cache_size < 1:
             raise ValueError("route_cache_size must be >= 1")
+        if self.delivery_mode not in ("best_effort", "durable"):
+            raise ValueError(f"unknown delivery_mode {self.delivery_mode!r}")
+        if self.ordering not in ("none", "fifo", "causal"):
+            raise ValueError(f"unknown ordering {self.ordering!r}")
+        if self.delivery_mode == "durable" and not self.reliable_delivery:
+            raise ValueError('delivery_mode="durable" requires reliable_delivery')
+        if self.ordering != "none" and self.delivery_mode != "durable":
+            raise ValueError(
+                'ordering != "none" requires delivery_mode="durable" '
+                "(gaps must be guaranteed to fill)"
+            )
+        if self.durable_log_max_entries < 1:
+            raise ValueError("durable_log_max_entries must be >= 1")
+        if self.reorder_buffer_max < 1:
+            raise ValueError("reorder_buffer_max must be >= 1")
+        if self.durable_redelivery_ms <= 0:
+            raise ValueError("durable_redelivery_ms must be positive")
+        if self.durable_rejoin_grace_ms < 0:
+            raise ValueError("durable_rejoin_grace_ms must be >= 0")
         # Validates base/code_bits compatibility eagerly.
         self.geometry  # noqa: B018
+        if self.ordering != "none" and self.direct_rendezvous_levels <= self.max_level:
+            raise ValueError(
+                "ordered delivery requires the fully direct topology "
+                f"(direct_rendezvous_levels > max_level = {self.max_level}): "
+                "marker-chain relays would interleave per-publisher "
+                "streams, and leaf zones must be occupancy-tracked so "
+                "publishers only take custody for keys someone can ack"
+            )
 
     @property
     def geometry(self) -> ZoneGeometry:

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from collections import deque
 from time import perf_counter
-from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -36,9 +36,12 @@ from repro.core.zones import ContentZone
 from repro.dht.chord import ChordNode
 from repro.dht.idspace import cw_distance, id_in_interval
 from repro.dht.pastry import PastryNode
+from repro.core.durability import DurableState
 from repro.sim.messages import (
     AE_DIGEST_ENTRY_BYTES,
     CONTROL_BYTES,
+    DEP_ENTRY_BYTES,
+    DURABLE_META_BYTES,
     PIGGYBACK_BYTES,
     SUBID_BYTES,
     Message,
@@ -176,6 +179,25 @@ class PubSubNodeMixin:
         #: anti-entropy re-replication loop state (self-healing extension)
         self._ae_running = False
 
+        #: custody-transfer log (delivery-guarantees extension); ``None``
+        #: outside durable mode so the hot paths pay one attribute load.
+        self.durable: Optional[DurableState] = (
+            DurableState(system.config.durable_log_max_entries)
+            if system.config.delivery_mode == "durable"
+            else None
+        )
+        #: (stream, key nid) -> {kseq: parked packet} at match sites
+        self._dur_parks: Dict[Tuple, Dict[int, Message]] = {}
+        #: (stream, iid) -> {mseq: parked packet} at subscribers
+        self._dur_sub_parks: Dict[Tuple, Dict[int, Message]] = {}
+        #: causal sequencer: pseq-contiguous arrivals blocked on deps
+        self._seq_blocked: Dict[int, tuple] = {}
+        self._dur_running = False
+        #: until this sim time, keys with no local repository are NOT
+        #: vacuously acked -- a ring-stabilization grace extended after
+        #: our own rejoin and after every predecessor change
+        self._dur_vacuous_after = 0.0
+
         #: epoch-keyed next-hop cache (perf extension; the invalidation
         #: rule lives in dht/base.py and docs/PERFORMANCE.md)
         self._rc_enabled = system.config.route_cache
@@ -199,6 +221,7 @@ class PubSubNodeMixin:
         self.register_handler("ps_unregister", self._on_ps_unregister)
         self.register_handler("ps_event", self._on_ps_event)
         self.register_handler("ps_event_ack", self._on_ps_event_ack)
+        self.register_handler("ps_dack", self._on_ps_dack)
         self.register_handler("ps_busy", self._on_ps_busy)
         self.register_handler("ps_storm", self._on_ps_storm)
         self.register_handler("ps_load_probe", self._on_load_probe)
@@ -780,6 +803,19 @@ class PubSubNodeMixin:
         subscriptions that still carry its node id (its own volatile
         ``marker_origin`` died with it).
         """
+        if self.durable is not None:
+            # Any predecessor change -- not just our own rejoin -- means
+            # this node's claim to its arc is in flux.  A saturated (but
+            # alive) neighbor sheds maintenance pings exactly like a dead
+            # one, so check-predecessor can route the arc of a live repo
+            # owner to us; vacuously acking its keys (the "authoritatively
+            # empty zone" path) would retire custody for subscriptions the
+            # owner still serves.  Hold vacuous acks until the claim has
+            # been stable for the grace window; custodians just redeliver.
+            self._dur_vacuous_after = max(
+                self._dur_vacuous_after,
+                self.sim.now + self.system.config.durable_rejoin_grace_ms,
+            )
         if new_id is None or old_id == new_id:
             return
         if old_id is None:
@@ -870,18 +906,32 @@ class PubSubNodeMixin:
             for iid, repo_key in self.marker_origin.items()
             if repo_key in moved_repo_keys
         )
-        if not groups and not snapshots and not markers:
+        dur_state = None
+        if self.durable is not None:
+            # Site-side ordering state travels with the keys: the new
+            # owner must resume each per-key stream where we left it or
+            # the sequence space would fork (duplicates / stalls).
+            dur_state = self.durable.export_site_state(set(moved_keys))
+            if not (dur_state["site_w"] or dur_state["mseq"]):
+                dur_state = None
+        if not groups and not snapshots and not markers and dur_state is None:
             return
+        payload = {
+            "groups": groups,
+            "snapshots": snapshots,
+            "markers": markers,
+        }
+        if dur_state is not None:
+            payload["durable"] = dur_state
+            payload_bytes += DURABLE_META_BYTES * (
+                len(dur_state["site_w"]) + len(dur_state["mseq"])
+            )
         self.send(
             Message(
                 src=self.addr,
                 dst=new_addr,
                 kind="ps_handoff",
-                payload={
-                    "groups": groups,
-                    "snapshots": snapshots,
-                    "markers": markers,
-                },
+                payload=payload,
                 size_bytes=CONTROL_BYTES
                 + payload_bytes
                 + SUBID_BYTES * len(markers),
@@ -926,6 +976,9 @@ class PubSubNodeMixin:
                 self.marker_origin.setdefault(iid, repo_key)
             else:
                 self.standby_markers[(nid, iid)] = repo_key
+        dur_state = msg.payload.get("durable")
+        if dur_state is not None and self.durable is not None:
+            self.durable.absorb_site_state(dur_state)
 
     def _on_ps_unregister(self, msg: Message) -> None:
         p = msg.payload
@@ -953,35 +1006,75 @@ class PubSubNodeMixin:
         entry with the same grouping logic as every other SubID).
         """
         event_id = self.system.metrics.new_event(event, self.addr, self.sim.now)
-        direct = self.system.config.direct_rendezvous_levels
-        entries = []
-        seen_keys = set()
-        for entity in self.system.entities_of(event.scheme_name):
-            leaf = entity.zone_of_point(event.point)
-            targets = [leaf]
-            # With R > 0 the event also visits its shallow ancestors
-            # directly (they push no surrogate subscriptions).  Empty
-            # shallow zones are skipped via the occupancy directory --
-            # matching the cascade design, where the climb only reaches
-            # zones that registered something below themselves.
-            zone = leaf
-            while zone.level > 0:
-                zone = zone.parent()
-                if zone.level < direct and self.system.shallow_occupied(
-                    (entity.key, zone.code, zone.level)
-                ):
-                    targets.append(zone)
-            for z in targets:
-                key = entity.rotated_key(z)
-                if key not in seen_keys:
-                    seen_keys.add(key)
-                    entries.append((key, None))
+        cfg = self.system.config
+        durable = self.durable
+        ordering = cfg.ordering if durable is not None else "none"
         payload = {
             "event_id": event_id,
             "scheme": event.scheme_name,
             "point": event.point,
-            "entries": entries,
         }
+        span_extra: Dict[str, Any] = {}
+        if ordering == "causal":
+            # The event is funnelled through the scheme's sequencer,
+            # which assigns its place in the total order and computes
+            # the real rendezvous fan-out.  One "seq" custody entry
+            # covers the whole publish until the sequencer acks.
+            durable.pub_pseq += 1
+            pseq = durable.pub_pseq
+            deps = [
+                [a, n]
+                for a, n in sorted(durable.causal_ctx.items())
+                if a != self.addr and n > durable.causal_sent.get(a, 0)
+            ]
+            for a, n in deps:
+                durable.causal_sent[a] = n
+            durable.causal_ctx[self.addr] = pseq
+            durable.causal_sent[self.addr] = pseq
+            seq_addr = self.system.sequencer_addr(event.scheme_name)
+            payload["pub"] = self.addr
+            payload["pseq"] = pseq
+            payload["deps"] = deps
+            ev = {
+                "event_id": event_id,
+                "scheme": event.scheme_name,
+                "point": event.point,
+                "rt": self.sim.now,
+                "pub": self.addr,
+                "pseq": pseq,
+                "deps": deps,
+            }
+            meta = {"s": ["S", seq_addr], "k": pseq, "q": 1}
+            self._dur_log("seq", ev, -1, None, meta)
+            entries = [(-1, None, meta)]
+            span_extra = {"pseq": pseq, "deps": deps}
+        else:
+            keys = self._event_target_keys(
+                event.scheme_name, event.point, filter_leaf=ordering != "none"
+            )
+            if durable is None:
+                entries = [(key, None) for key in keys]
+            else:
+                ev = {
+                    "event_id": event_id,
+                    "scheme": event.scheme_name,
+                    "point": event.point,
+                    "rt": self.sim.now,
+                }
+                entries = []
+                if ordering == "none":
+                    for key in keys:
+                        meta: Dict[str, Any] = {}
+                        self._dur_log("key", ev, key, None, meta)
+                        entries.append((key, None, meta))
+                else:  # publisher-FIFO: one sequenced stream per key
+                    stream = ("P", self.addr)
+                    for key in keys:
+                        kq = durable.next_kseq(stream, key)
+                        meta = {"s": list(stream), "k": kq}
+                        self._dur_log("key", ev, key, None, meta)
+                        entries.append((key, None, meta))
+        payload["entries"] = entries
         root_span = None
         tel = self.system.telemetry
         if tel is not None:
@@ -994,6 +1087,7 @@ class PubSubNodeMixin:
                     event=event_id,
                     scheme=event.scheme_name,
                     entries=len(entries),
+                    **span_extra,
                 )
         root = Message(
             src=self.addr,
@@ -1006,6 +1100,44 @@ class PubSubNodeMixin:
         )
         self._process_event(root)
         return event_id
+
+    def _event_target_keys(
+        self, scheme_name: str, point, filter_leaf: bool = False
+    ) -> List[int]:
+        """Rendezvous keys an event visits, in climb order.
+
+        With R > 0 the event also visits its shallow ancestors directly
+        (they push no surrogate subscriptions).  Empty shallow zones are
+        skipped via the occupancy directory -- matching the cascade
+        design, where the climb only reaches zones that registered
+        something below themselves.  ``filter_leaf`` extends the same
+        occupancy skip to the leaf zone itself: ordered durable modes
+        must not take custody for a key nobody can ever ack (the config
+        forces the fully direct topology there, so leaves are tracked).
+        """
+        direct = self.system.config.direct_rendezvous_levels
+        keys: List[int] = []
+        seen_keys = set()
+        for entity in self.system.entities_of(scheme_name):
+            leaf = entity.zone_of_point(point)
+            targets = []
+            if not filter_leaf or self.system.shallow_occupied(
+                (entity.key, leaf.code, leaf.level)
+            ):
+                targets.append(leaf)
+            zone = leaf
+            while zone.level > 0:
+                zone = zone.parent()
+                if zone.level < direct and self.system.shallow_occupied(
+                    (entity.key, zone.code, zone.level)
+                ):
+                    targets.append(zone)
+            for z in targets:
+                key = entity.rotated_key(z)
+                if key not in seen_keys:
+                    seen_keys.add(key)
+                    keys.append(key)
+        return keys
 
     def _pb_due(self, dst_addr: int) -> bool:
         """Attach ring state only where it can replace maintenance RPCs.
@@ -1079,7 +1211,9 @@ class PubSubNodeMixin:
             if self.system.config.hop_failover:
                 self._hop_failover(state)
             else:
-                self._count_give_up(state["payload"], span=state.get("span"))
+                self._count_give_up(
+                    state["payload"], span=state.get("span"), cause="retries"
+                )
             return
         state["retries"] += 1
         self.network.stats.retransmissions += 1
@@ -1115,13 +1249,16 @@ class PubSubNodeMixin:
         )
 
     def _count_give_up(
-        self, payload: dict, span: Optional[int] = None
+        self, payload: dict, span: Optional[int] = None, cause: str = "retries"
     ) -> None:
-        """Account an abandoned event packet (it is real delivery risk)."""
+        """Account an abandoned event packet (it is real delivery risk).
+
+        ``cause`` is one of :data:`repro.sim.stats.GIVE_UP_CAUSES`; the
+        per-cause counters let the guarantees experiment attribute
+        exactly which loss mechanism durable redelivery recovers.
+        """
         entries = payload.get("entries", ())
-        stats = self.network.stats
-        stats.gave_up += 1
-        stats.gave_up_subids += len(entries)
+        self.network.stats.record_give_up(cause, len(entries))
         self.system.metrics.on_give_up(payload["event_id"], len(entries))
         tel = self.system.telemetry
         if tel is not None and tel.tracing:
@@ -1132,6 +1269,7 @@ class PubSubNodeMixin:
                 event=payload["event_id"],
                 parent=span,
                 entries=len(entries),
+                cause=cause,
             )
 
     # ------------------------------------------------------------------
@@ -1156,7 +1294,9 @@ class PubSubNodeMixin:
         if fo is None:
             fo = self.system.config.failover_max_attempts
         if fo <= 0 or not self._alive:
-            self._count_give_up(state["payload"], span=state.get("span"))
+            self._count_give_up(
+                state["payload"], span=state.get("span"), cause="failover"
+            )
             return
         tel = self.system.telemetry
         if tel is not None and tel.tracing:
@@ -1181,7 +1321,9 @@ class PubSubNodeMixin:
 
     def _failover_resend(self, state: dict, fo: int) -> None:
         if not self._alive:
-            self._count_give_up(state["payload"], span=state.get("span"))
+            self._count_give_up(
+                state["payload"], span=state.get("span"), cause="failover"
+            )
             return
         p = state["payload"]
         payload = {
@@ -1191,6 +1333,11 @@ class PubSubNodeMixin:
             "entries": list(p["entries"]),
             "fo": fo,
         }
+        for extra in ("pub", "pseq", "deps"):
+            # Durable ordered modes ride these on every packet; losing
+            # them across a failover would strand the custody chain.
+            if extra in p:
+                payload[extra] = p[extra]
         # Re-enter Algorithm 5 at this node: responsibility may have
         # shifted to us meanwhile (takeover), in which case the entries
         # are served locally from standby replicas; otherwise they are
@@ -1264,7 +1411,7 @@ class PubSubNodeMixin:
             )
         elif rseq is None and "event_id" in p:
             # Fire-and-forget packet: nobody will retransmit it.
-            self._count_give_up(p, span=msg.span_id)
+            self._count_give_up(p, span=msg.span_id, cause="shed")
 
     def _on_ps_busy(self, msg: Message) -> None:
         """Backpressure NACK: the next hop shed our packet (queue full).
@@ -1312,7 +1459,9 @@ class PubSubNodeMixin:
             return  # acked while backing off (an earlier copy was served)
         if not self._alive:
             del self._rel_pending[seq]
-            self._count_give_up(state["payload"], span=state.get("span"))
+            self._count_give_up(
+                state["payload"], span=state.get("span"), cause="retries"
+            )
             return
         clone = Message(
             src=self.addr,
@@ -1432,22 +1581,36 @@ class PubSubNodeMixin:
         if msg.hops > self.system.config.event_ttl_hops:
             # Transient routing loops are possible while the ring heals
             # around a crash; the TTL converts them into counted drops.
-            self._count_give_up(p, span=msg.span_id)
+            self._count_give_up(p, span=msg.span_id, cause="ttl")
             return
         fo = p.get("fo")
         tel = self.system.telemetry
         prof = tel.profiler if tel is not None and tel.profiling else None
 
         worklist = deque(p["entries"])
-        groups: Dict[int, List[Tuple[int, Optional[int]]]] = {}
+        groups: Dict[int, List[tuple]] = {}
         while worklist:
-            nid, iid = worklist.popleft()
+            ent = worklist.popleft()
+            nid, iid = ent[0], ent[1]
+            meta = ent[2] if len(ent) > 2 else None
+            if meta is not None and "q" in meta:
+                # Sequencer-bound entry (causal mode): routed by network
+                # address, not by DHT id -- the sequencer is pinned.
+                seq_addr = meta["s"][1]
+                if seq_addr == self.addr:
+                    worklist.extend(self._seq_ingest(p, meta, msg))
+                else:
+                    groups.setdefault(seq_addr, []).append(ent)
+                continue
             if self.is_responsible(nid):
                 if prof is not None:
                     t0 = perf_counter()
-                more = self._handle_local_entry(
-                    event_id, scheme_name, point, nid, iid, msg
-                )
+                if meta is not None:
+                    more = self._durable_handle(p, nid, iid, meta, msg)
+                else:
+                    more = self._handle_local_entry(
+                        event_id, scheme_name, point, nid, iid, msg
+                    )
                 if prof is not None:
                     prof.add("algo5.match", perf_counter() - t0)
                 worklist.extend(more)
@@ -1460,7 +1623,12 @@ class PubSubNodeMixin:
                     nh = self.next_hop_addr(nid)
                 if prof is not None:
                     prof.add("algo5.route", perf_counter() - t0)
-                if nh is None:  # pragma: no cover - defensive
+                if nh is None or nh == self.addr:
+                    # Unroutable (healing ring) or a degenerate self-hop
+                    # -- a self-forward costs zero latency and no hops,
+                    # i.e. an infinite loop at frozen simulated time.
+                    # Drop the entry: durable custody redelivers it once
+                    # the ring converges; best-effort never promised it.
                     continue
                 if self.breaker is not None and not self.breaker.allow(
                     nh, self.sim.now
@@ -1468,7 +1636,7 @@ class PubSubNodeMixin:
                     alt = self._route_around(nid, nh)
                     if alt is not None:
                         nh = alt
-                groups.setdefault(nh, []).append((nid, iid))
+                groups.setdefault(nh, []).append(ent)
 
         piggyback = None
         if self.system.config.piggyback_maintenance and hasattr(self, "successors"):
@@ -1480,12 +1648,20 @@ class PubSubNodeMixin:
             }
         for nh, ents in groups.items():
             size = event_message_bytes(len(ents))
+            n_meta = sum(1 for e in ents if len(e) > 2)
+            if n_meta:
+                size += DURABLE_META_BYTES * n_meta
             payload = {
                 "event_id": event_id,
                 "scheme": scheme_name,
                 "point": point,
                 "entries": ents,
             }
+            for extra in ("pub", "pseq", "deps"):
+                if extra in p:
+                    payload[extra] = p[extra]
+            if "deps" in payload:
+                size += DEP_ENTRY_BYTES * len(payload["deps"])
             if fo is not None:
                 # Inherited failover budget: bounded per packet lineage.
                 payload["fo"] = fo
@@ -1664,6 +1840,437 @@ class PubSubNodeMixin:
                 return [(s.nid, s.iid) for s in store.match_point(point)]
 
         return []  # stale SubID (unsubscribed / departed): drop silently
+
+    # ------------------------------------------------------------------
+    # Durable delivery: custody transfer (delivery-guarantees extension)
+    # ------------------------------------------------------------------
+    def _dur_log(
+        self,
+        kind: str,
+        ev: Dict[str, Any],
+        nid: int,
+        iid: Optional[int],
+        meta: Dict[str, Any],
+    ) -> None:
+        """Take custody: log the obligation, stamp ``meta`` with it."""
+        entry, evicted = self.durable.append(
+            kind, ev, nid, iid, meta, self.sim.now
+        )
+        meta["t"] = [self.addr, entry.tok]
+        self.network.stats.record_durable("appends")
+        for old in evicted:
+            self._dur_truncated(old)
+
+    def _dur_truncated(self, entry) -> None:
+        """Count + trace a budget eviction (a permanent, visible loss)."""
+        self.network.stats.record_durable("truncated")
+        tel = self.system.telemetry
+        if tel is not None and tel.tracing:
+            tel.tracer.span(
+                "durable_truncate",
+                t=self.sim.now,
+                node=self.addr,
+                event=entry.event["event_id"],
+                entry_kind=entry.kind,
+            )
+
+    def _dur_ack(self, meta: Dict[str, Any], event_id: int) -> None:
+        """Retire ``meta``'s custody entry at its custodian.
+
+        Subscriber-level acks are deliberately unreliable control
+        packets: a lost dack just means one more (idempotent)
+        redelivery, which the duplicate path re-dacks.
+        """
+        t = meta.get("t")
+        if t is None:  # pragma: no cover - defensive
+            return
+        cust, tok = t
+        if cust == self.addr:
+            if self.durable is not None and self.durable.ack(tok) is not None:
+                self.network.stats.record_durable("acked")
+            return
+        self.system.metrics.on_event_message(event_id, CONTROL_BYTES)
+        self.send(
+            Message(
+                src=self.addr,
+                dst=cust,
+                kind="ps_dack",
+                payload={"tok": tok, "event": event_id},
+                size_bytes=CONTROL_BYTES,
+            )
+        )
+
+    def _on_ps_dack(self, msg: Message) -> None:
+        if self.durable is None:  # pragma: no cover - defensive
+            return
+        if self.durable.ack(msg.payload["tok"]) is not None:
+            self.network.stats.record_durable("acked")
+
+    def _dur_event_fields(self, p: dict, msg: Message) -> Dict[str, Any]:
+        """Event-constant fields a custody entry must replay verbatim."""
+        ev = {
+            "event_id": p["event_id"],
+            "scheme": p["scheme"],
+            "point": p["point"],
+            "rt": msg.root_time,
+        }
+        for extra in ("pub", "pseq", "deps"):
+            if extra in p:
+                ev[extra] = p[extra]
+        return ev
+
+    def _dur_parked_msg(self, p: dict, ent: tuple, msg: Message) -> Message:
+        """Wrap one out-of-order entry for later local re-processing."""
+        payload = {
+            "event_id": p["event_id"],
+            "scheme": p["scheme"],
+            "point": p["point"],
+            "entries": [ent],
+        }
+        for extra in ("pub", "pseq", "deps"):
+            if extra in p:
+                payload[extra] = p[extra]
+        return Message(
+            src=self.addr,
+            dst=self.addr,
+            kind="ps_event",
+            payload=payload,
+            size_bytes=0,
+            hops=msg.hops,
+            path_latency=msg.path_latency,
+            root_time=msg.root_time,
+            span_id=msg.span_id,
+        )
+
+    def _dur_park(self, park: Dict[int, Message], seq: int, parked: Message) -> None:
+        """Buffer an out-of-order packet, bounded by ``reorder_buffer_max``.
+
+        On overflow the entry *furthest* from the watermark is dropped
+        (never acked, so its custodian redelivers it once the gap
+        heals); dropping the nearest would just re-open the same gap.
+        """
+        if seq in park:
+            return  # duplicate of an already-parked sequence number
+        if len(park) >= self.system.config.reorder_buffer_max:
+            self.network.stats.record_durable("reorder_overflow")
+            worst = max(park)
+            if seq > worst:
+                return  # the newcomer is the furthest: drop it instead
+            del park[worst]
+        park[seq] = parked
+
+    def _durable_handle(
+        self,
+        p: dict,
+        nid: int,
+        iid: Optional[int],
+        meta: Dict[str, Any],
+        msg: Message,
+    ) -> List[tuple]:
+        """Consume one custody-tagged entry this node is responsible for."""
+        if iid is None:
+            if "k" in meta:
+                return self._dur_key_ordered(p, nid, meta, msg)
+            return self._dur_key_unordered(p, nid, meta, msg)
+        return self._dur_sub_entry(p, nid, iid, meta, msg)
+
+    def _dur_key_unordered(
+        self, p: dict, nid: int, meta: Dict[str, Any], msg: Message
+    ) -> List[tuple]:
+        """Rendezvous matching with custody transfer, no ordering.
+
+        Matching against a live repo, a standby takeover, or an
+        authoritatively empty zone fully discharges the entry, so the
+        incoming custody is acked.  One case must NOT ack: a node whose
+        ring state is still stabilizing -- it just rejoined, or its
+        predecessor changed (a storm-saturated neighbor sheds
+        maintenance pings exactly like a dead one, handing us its live
+        arc) -- can claim a wrapped ``(pred, self]`` interval through a
+        stale predecessor pointer and "own" keys whose repositories
+        live elsewhere; acking such a key with no local knowledge of it
+        would retire custody for subscriptions the true owner still
+        holds.  Within the grace window a key this node has no
+        repository for stays silent, and the custodian simply
+        redelivers after the ring has converged.
+        """
+        event_id = p["event_id"]
+        if (
+            self.sim.now < self._dur_vacuous_after
+            and not self.rendezvous_index.get(nid)
+            and not self.standby_rendezvous.get(nid)
+        ):
+            return []
+        matched = self._handle_local_entry(
+            event_id, p["scheme"], p["point"], nid, None, msg
+        )
+        out: List[tuple] = []
+        if matched:
+            ev = self._dur_event_fields(p, msg)
+            for snid, siid in matched:
+                m: Dict[str, Any] = {}
+                self._dur_log("sub", ev, snid, siid, m)
+                out.append((snid, siid, m))
+        self._dur_ack(meta, event_id)
+        return out
+
+    def _dur_key_ordered(
+        self, p: dict, nid: int, meta: Dict[str, Any], msg: Message
+    ) -> List[tuple]:
+        """Per-stream contiguous rendezvous matching (fifo / causal).
+
+        Only the durable *owner* of the key may process: a successor
+        that took over the arc would assign fresh (low) mseq values,
+        which downstream watermarks would absorb as duplicates --
+        silently losing the delivery.  A non-owner stays silent (no
+        dack), so the custodian redelivers until the owner rejoins.
+        """
+        if not self.rendezvous_index.get(nid):
+            return []
+        stream = tuple(meta["s"])
+        k = meta["k"]
+        skey = (stream, nid)
+        w = self.durable.site_w.get(skey, 0)
+        if k <= w:
+            self._dur_ack(meta, p["event_id"])  # duplicate redelivery
+            return []
+        if k > w + 1:
+            park = self._dur_parks.setdefault(skey, {})
+            self._dur_park(park, k, self._dur_parked_msg(p, (nid, None, meta), msg))
+            return []
+        # k == w + 1: in order -- match, take custody, advance, drain.
+        matched = self._handle_local_entry(
+            p["event_id"], p["scheme"], p["point"], nid, None, msg
+        )
+        out: List[tuple] = []
+        if matched:
+            ev = self._dur_event_fields(p, msg)
+            for snid, siid in matched:
+                mq = self.durable.next_mseq(stream, nid, (snid, siid))
+                m = {"s": list(stream), "m": mq}
+                self._dur_log("sub", ev, snid, siid, m)
+                out.append((snid, siid, m))
+        self.durable.site_w[skey] = k
+        self._dur_ack(meta, p["event_id"])
+        park = self._dur_parks.get(skey)
+        if park:
+            nxt = park.pop(k + 1, None)
+            if not park:
+                del self._dur_parks[skey]
+            if nxt is not None:
+                self._process_event(nxt)  # recursively continues the run
+        return out
+
+    def _dur_sub_entry(
+        self, p: dict, nid: int, iid: int, meta: Dict[str, Any], msg: Message
+    ) -> List[tuple]:
+        """Consume a custody-tagged SubID entry (delivery or relay)."""
+        event_id = p["event_id"]
+        if nid == self.node_id and iid in self.own_subs:
+            if "m" in meta:
+                return self._dur_deliver_ordered(p, iid, meta, msg)
+            self._dur_deliver_now(p, iid, meta, msg)
+            return []
+        # Relay consumption: a surrogate/migrated store we can serve
+        # fully discharges the entry; so does a stale iid of our own
+        # (unsubscribed -- nobody will ever want it again).  A foreign
+        # SubID we merely route for (its node crashed) is NOT resolved:
+        # stay silent and let the custodian redeliver after the rejoin.
+        resolved = nid == self.node_id or (
+            (nid, iid) in self.standby_markers
+            or (nid, iid) in self.standby_migrated
+        )
+        if not resolved:
+            return []
+        matched = self._handle_local_entry(
+            event_id, p["scheme"], p["point"], nid, iid, msg
+        )
+        out: List[tuple] = []
+        if matched:
+            ev = self._dur_event_fields(p, msg)
+            for snid, siid in matched:
+                m: Dict[str, Any] = {}
+                self._dur_log("sub", ev, snid, siid, m)
+                out.append((snid, siid, m))
+        self._dur_ack(meta, event_id)
+        return out
+
+    def _dur_deliver_now(self, p: dict, iid: int, meta: Dict[str, Any], msg: Message) -> None:
+        """Deliver to a local subscription and ack the custody entry."""
+        self._handle_local_entry(
+            p["event_id"], p["scheme"], p["point"], self.node_id, iid, msg
+        )
+        pub = p.get("pub")
+        if pub is not None and self.durable is not None:
+            # Causal context: remember the newest pseq seen from each
+            # publisher so our next publish declares the dependency.
+            ctx = self.durable.causal_ctx
+            if p["pseq"] > ctx.get(pub, 0):
+                ctx[pub] = p["pseq"]
+        self._dur_ack(meta, p["event_id"])
+
+    def _dur_deliver_ordered(
+        self, p: dict, iid: int, meta: Dict[str, Any], msg: Message
+    ) -> List[tuple]:
+        """Deliver in per-stream mseq order (contiguity watermark)."""
+        stream = tuple(meta["s"])
+        m = meta["m"]
+        skey = (stream, iid)
+        w = self.durable.sub_w.get(skey, 0)
+        if m <= w:
+            self._dur_ack(meta, p["event_id"])  # duplicate redelivery
+            return []
+        if m > w + 1:
+            park = self._dur_sub_parks.setdefault(skey, {})
+            self._dur_park(
+                park, m, self._dur_parked_msg(p, (self.node_id, iid, meta), msg)
+            )
+            return []
+        self._dur_deliver_now(p, iid, meta, msg)
+        self.durable.sub_w[skey] = m
+        park = self._dur_sub_parks.get(skey)
+        if park:
+            nxt = park.pop(m + 1, None)
+            if not park:
+                del self._dur_sub_parks[skey]
+            if nxt is not None:
+                self._process_event(nxt)
+        return []
+
+    # -- causal sequencer ----------------------------------------------
+    def _seq_ingest(self, p: dict, meta: Dict[str, Any], msg: Message) -> List[tuple]:
+        """Admit one publisher packet into the scheme's total order."""
+        d = self.durable
+        pub, pseq = p["pub"], p["pseq"]
+        if pseq <= d.seq_w.get(pub, 0):
+            self._dur_ack(meta, p["event_id"])  # duplicate redelivery
+            return []
+        key = (pub, pseq)
+        if key not in self._seq_blocked:
+            self._seq_blocked[key] = (p, meta, msg)
+        self._seq_drain()
+        return []
+
+    def _seq_drain(self) -> None:
+        """Sequence every blocked packet whose prerequisites now hold.
+
+        A packet is admitted when (a) it is the next pseq of its
+        publisher -- publisher-FIFO inside the total order -- and (b)
+        every declared dependency has already been sequenced.  Because
+        a dependency can only be declared after its event was
+        *delivered* (hence sequenced), (b) only bites when redelivery
+        races reorder the streams.
+        """
+        d = self.durable
+        progress = True
+        while progress:
+            progress = False
+            for pub, pseq in sorted(self._seq_blocked):
+                if pseq != d.seq_w.get(pub, 0) + 1:
+                    continue
+                p, meta, msg = self._seq_blocked[(pub, pseq)]
+                deps = p.get("deps") or ()
+                if any(d.seq_w.get(a, 0) < n for a, n in deps):
+                    continue
+                del self._seq_blocked[(pub, pseq)]
+                d.seq_w[pub] = pseq
+                self._seq_emit(p, msg)
+                self._dur_ack(meta, p["event_id"])
+                progress = True
+                break  # watermark moved: restart the scan
+
+    def _seq_emit(self, p: dict, msg: Message) -> None:
+        """Fan a sequenced event out to its rendezvous keys.
+
+        The sequencer is the custodian from here on: one "key" entry
+        per target in the single ``("Q",)`` stream, whose per-key kseq
+        embeds the total order downstream.
+        """
+        ev = self._dur_event_fields(p, msg)
+        ev.pop("deps", None)  # satisfied here; don't ship them onward
+        keys = self._event_target_keys(p["scheme"], p["point"], filter_leaf=True)
+        if not keys:
+            return  # nobody subscribed anywhere: fully discharged
+        entries = []
+        for key in keys:
+            kq = self.durable.next_kseq(("Q",), key)
+            m = {"s": ["Q"], "k": kq}
+            self._dur_log("key", ev, key, None, m)
+            entries.append((key, None, m))
+        payload = {
+            "event_id": p["event_id"],
+            "scheme": p["scheme"],
+            "point": p["point"],
+            "pub": p["pub"],
+            "pseq": p["pseq"],
+            "entries": entries,
+        }
+        self._process_event(
+            Message(
+                src=self.addr,
+                dst=self.addr,
+                kind="ps_event",
+                payload=payload,
+                size_bytes=0,
+                hops=msg.hops,
+                path_latency=msg.path_latency,
+                root_time=msg.root_time,
+                span_id=msg.span_id,
+            )
+        )
+
+    # -- redelivery ----------------------------------------------------
+    def start_durable_redelivery(self) -> None:
+        """Arm the periodic scan that re-sends unacked custody entries."""
+        if self.durable is None or self._dur_running:
+            return
+        self._dur_running = True
+        self.sim.schedule(
+            self.system.config.durable_redelivery_ms, self._dur_tick
+        )
+
+    def stop_durable_redelivery(self) -> None:
+        self._dur_running = False
+
+    def _dur_tick(self) -> None:
+        # Deliberately no re-arm once stopped or crashed: a dead
+        # incarnation's timer must die with it or the simulation would
+        # never drain (the rejoined incarnation arms its own).
+        if not self._dur_running or not self._alive:
+            return
+        interval = self.system.config.durable_redelivery_ms
+        for entry in self.durable.due(self.sim.now, interval):
+            self._dur_redeliver(entry)
+        self.sim.schedule(interval, self._dur_tick)
+
+    def _dur_redeliver(self, entry) -> None:
+        """Re-issue one unacked obligation from its logged state."""
+        entry.last_sent = self.sim.now
+        entry.attempts += 1
+        self.network.stats.record_durable("redelivered")
+        tel = self.system.telemetry
+        if tel is not None and tel.tracing:
+            tel.tracer.span(
+                "durable_redeliver",
+                t=self.sim.now,
+                node=self.addr,
+                event=entry.event["event_id"],
+                entry_kind=entry.kind,
+                attempt=entry.attempts,
+            )
+        payload = {k: v for k, v in entry.event.items() if k != "rt"}
+        payload["entries"] = [entry.wire_entry()]
+        # Replayed with the ORIGINAL root time: healing latency is real
+        # end-to-end latency, not time-since-retry.
+        self._process_event(
+            Message(
+                src=self.addr,
+                dst=self.addr,
+                kind="ps_event",
+                payload=payload,
+                size_bytes=0,
+                root_time=entry.event.get("rt", self.sim.now),
+            )
+        )
 
     # ------------------------------------------------------------------
     # Section 4: dynamic subscription migration

@@ -26,6 +26,7 @@ from repro.core.subscheme import (
     entity_for_subscription,
 )
 from repro.core.subscription import SubID, Subscription
+from repro.core.zones import ContentZone
 from repro.dht.chord import build_chord_overlay
 from repro.dht.pastry import build_pastry_overlay
 from repro.sim.engine import Simulator
@@ -258,6 +259,13 @@ class HyperSubSystem:
         self._shallow_occupied: set = set()
         #: optional application callback: fn(addr, event_id, subid)
         self.on_deliver: Optional[Callable[[int, int, SubID], None]] = None
+        #: causal-mode sequencer addresses, pinned per scheme (delivery-
+        #: guarantees extension): ring changes must not move a sequencer
+        #: mid-run or its per-publisher watermarks would fork.
+        self._sequencers: Dict[str, int] = {}
+        #: fleet-wide redelivery switch; rejoining nodes consult it so a
+        #: crash-rejoin re-arms its (durable) custody scan.
+        self._durable_redelivery = False
         #: record per-event dissemination edges (see repro.analysis.trace)
         self.tracing: bool = False
         if self.telemetry is not None:
@@ -332,6 +340,25 @@ class HyperSubSystem:
     def node_at_home(self, key: int):
         return self.nodes[self.home_addr(key)]
 
+    def sequencer_addr(self, scheme_name: str) -> int:
+        """The scheme's causal sequencer (pinned on first resolution).
+
+        The home of the scheme's rotated root-zone key -- a stable,
+        deterministic choice every node computes identically.  Pinning
+        matters: the mapping is resolved once and kept even as nodes
+        join or fail, because the sequencer's per-publisher watermarks
+        (``DurableState.seq_w``) must stay with one incarnation chain.
+        A crashed sequencer heals by rejoining (same address, durable
+        state restored), with publishers redelivering in the interim.
+        """
+        addr = self._sequencers.get(scheme_name)
+        if addr is None:
+            entity = self._entities_by_scheme[scheme_name][0]
+            root = ContentZone(0, 0, entity.geometry)
+            addr = self.home_addr(entity.rotated_key(root))
+            self._sequencers[scheme_name] = addr
+        return addr
+
     # ------------------------------------------------------------------
     # User operations
     # ------------------------------------------------------------------
@@ -362,6 +389,11 @@ class HyperSubSystem:
         the system stabilises, *then* events are scheduled and measured.
         """
         self.sim.run_until_idle()
+        if self.config.ordering == "causal":
+            # Pin every scheme's sequencer while the ring is complete
+            # and stable -- later churn must not move the total order.
+            for name in self.schemes:
+                self.sequencer_addr(name)
         self.network.stats.reset()
         self.metrics.clear_events()
         self.sample_telemetry()
@@ -427,6 +459,18 @@ class HyperSubSystem:
         )
         #: scheduler events still queued, net of cancelled stubs
         reg.gauge("sim.live_events").set(float(self.sim.live))
+        if self.config.delivery_mode == "durable":
+            #: unacked custody entries across alive nodes right now --
+            #: the store-and-forward backlog the durable tier carries
+            reg.gauge("durable.log_occupancy").set(
+                float(
+                    sum(
+                        len(n.durable.log)
+                        for n in self.nodes
+                        if n.alive() and n.durable is not None
+                    )
+                )
+            )
         reg.sample_all(self.sim.now)
 
     # ------------------------------------------------------------------
@@ -501,6 +545,45 @@ class HyperSubSystem:
         # entries from the previous life; restarting rseq at 0 under the
         # same epoch would make them ack-and-discard our first packets.
         node._rel_epoch = old._rel_epoch + 1
+        if old.durable is not None:
+            # Durable tier: the custody log, its sequence counters and
+            # watermarks, the delivered-set and the surrogate state all
+            # model write-ahead *disk* -- the replacement process mounts
+            # them again.  Without the delivered-set, redeliveries of
+            # in-flight custody would double-deliver; without the repos
+            # (no replication in ordered mode, k=1), the subscriptions
+            # stored here would be gone for good.
+            node.durable = old.durable
+            node._delivered = old._delivered
+            node.zone_repos = old.zone_repos
+            node.rendezvous_index = old.rendezvous_index
+            node.marker_origin = old.marker_origin
+            node.migrated = old.migrated
+            node.standby_repos = old.standby_repos
+            node.standby_rendezvous = old.standby_rendezvous
+            node.standby_markers = old.standby_markers
+            node.standby_migrated = old.standby_migrated
+            # Ring state is NOT durable: until stabilization converges,
+            # a stale predecessor can wrap this node's interval around
+            # foreign keys -- suppress vacuous custody acks meanwhile.
+            node._dur_vacuous_after = (
+                self.sim.now + self.config.durable_rejoin_grace_ms
+            )
+            # The durable tier also persists a neighbor hint (standard
+            # Chord crash-recovery practice): the last-known successor
+            # list, minus ourselves.  Stale entries are harmless --
+            # suspicion timeouts evict the dead -- but without the hint
+            # a same-id rejoin can capture its own join lookup and come
+            # back with no usable successor at all.
+            if hasattr(old, "successors"):
+                node.successors = [
+                    s for s in old.successors if s[0] != node.node_id
+                ]
+                if node.successors and hasattr(node, "start_maintenance"):
+                    # With a usable hint, stabilization can start healing
+                    # immediately -- the join lookup refines the picture
+                    # but its completion must not gate ring recovery.
+                    node.start_maintenance()
         if hasattr(old, "stabilize_interval_ms"):
             node.stabilize_interval_ms = old.stabilize_interval_ms
             node.rpc_timeout_ms = old.rpc_timeout_ms
@@ -512,6 +595,8 @@ class HyperSubSystem:
         node.join(self.nodes[bootstrap_addr])
         if self.config.anti_entropy:
             node.start_anti_entropy()
+        if self._durable_redelivery:
+            node.start_durable_redelivery()
         return addr
 
     # ------------------------------------------------------------------
@@ -548,6 +633,20 @@ class HyperSubSystem:
     def stop_anti_entropy(self) -> None:
         for node in self.nodes:
             node.stop_anti_entropy()
+
+    def start_durable_redelivery(self) -> None:
+        """Arm the periodic custody-log scan on every alive node."""
+        if self.config.delivery_mode != "durable":
+            raise ValueError("config.delivery_mode is not 'durable'")
+        self._durable_redelivery = True
+        for node in self.nodes:
+            if node.alive():
+                node.start_durable_redelivery()
+
+    def stop_durable_redelivery(self) -> None:
+        self._durable_redelivery = False
+        for node in self.nodes:
+            node.stop_durable_redelivery()
 
     def check_invariants(self, **kwargs):
         """Run a mid-simulation audit; see :class:`repro.faults.InvariantChecker`."""

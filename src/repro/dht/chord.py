@@ -269,10 +269,19 @@ class ChordNode(OverlayNode):
         if not self.successors:
             return None
         succ_id, succ_addr = self.successors[0]
-        if id_in_interval(key, self.node_id, succ_id, incl_right=True):
+        # A same-id rejoin can transiently hold *itself* as successor
+        # (its join lookup resolved through the ring back to its own
+        # address).  Forwarding to ourselves would loop at zero cost
+        # forever, so a self-entry never routes; stabilization replaces
+        # it within a round or two.
+        if succ_addr != self.addr and id_in_interval(
+            key, self.node_id, succ_id, incl_right=True
+        ):
             return succ_addr
         best = self._closest_preceding(key)
-        return best[1] if best is not None else succ_addr
+        if best is not None:
+            return best[1]
+        return succ_addr if succ_addr != self.addr else None
 
     def _refresh_snapshot(self) -> None:
         """Rebuild the sorted routing snapshot from fingers+successors.
@@ -385,13 +394,42 @@ class ChordNode(OverlayNode):
         The joining node has no routing state yet, so the successor
         lookup is delegated to the bootstrap node.
         """
+        state = {"joined": False, "tries": 0}
+
         def _joined(result) -> None:
-            self.successors = [(result.home_id, result.home_addr)]
+            if state["joined"]:
+                return  # a retried lookup also completed
+            state["joined"] = True
+            ent = (result.home_id, result.home_addr)
+            keep = [
+                s for s in self.successors
+                if s[0] not in (self.node_id, ent[0])
+            ]
+            if ent[1] == self.addr and keep:
+                # A same-id rejoin can capture its own walk: the ring
+                # still routes our identifier to our (reused) address,
+                # so the lookup teaches us nothing.  Any seeded
+                # neighbor hint beats "ourselves".
+                self.successors = keep[: self.succ_list_len]
+            else:
+                self.successors = ([ent] + keep)[: self.succ_list_len]
             self.start_maintenance()
             if done is not None:
                 done()
 
-        bootstrap.lookup(self.node_id, _joined)
+        def _attempt() -> None:
+            # The iterative lookup has no transport-level recovery: one
+            # lost step or reply stalls it forever, and a node whose
+            # join never completes never starts maintenance -- the ring
+            # cannot heal around it.  Retry until it lands (bounded).
+            if state["joined"] or not self.alive() or not bootstrap.alive():
+                return
+            state["tries"] += 1
+            bootstrap.lookup(self.node_id, _joined)
+            if state["tries"] < 25:
+                self.sim.schedule(2.0 * self.rpc_timeout_ms, _attempt)
+
+        _attempt()
 
     def start_maintenance(self) -> None:
         """Begin periodic stabilize/fix-finger rounds (idempotent)."""
@@ -641,12 +679,30 @@ class ChordNode(OverlayNode):
         against a hop, the sender has stronger evidence of death than a
         single maintenance timeout, so the corpse is purged immediately
         and the alternate finger/successor takes over routing.  A wrong
-        call is harmless -- stabilization re-learns live neighbours.
+        call is harmless -- stabilization re-learns live neighbours --
+        with one exception: the LAST successor is never evicted.  A node
+        with an empty successor list cannot route, stabilize, or fix
+        fingers, so that eviction would be permanent self-isolation,
+        maintenance or not.  The evidence can also be wrong about *us*
+        rather than the peer: a node whose own ingress queue is
+        saturated sheds the acks its neighbours send back, and would
+        otherwise purge its entire (live) routing table one give-up at
+        a time.  Keeping one suspect is recoverable -- transport
+        failover routes around it and stabilization replaces it;
+        keeping none is not.
         """
-        self.successors = [s for s in self.successors if s[1] != addr]
+        kept = [s for s in self.successors if s[1] != addr]
+        if kept or not self.successors:
+            self.successors = kept
         self.fingers = {i: f for i, f in self.fingers.items() if f[1] != addr}
-        if self.predecessor is not None and self.predecessor[1] == addr:
-            self._set_predecessor(None)
+        # The predecessor is deliberately NOT touched: it defines this
+        # node's responsibility interval, and clearing it makes the node
+        # disown its whole arc (``is_responsible`` falls back to the
+        # bootstrap rule) -- a silent black hole for every key routed
+        # here until some predecessor re-notifies, which never happens
+        # if the eviction evidence was our own shed acks.  Dead
+        # predecessors are ``check_predecessor``'s job: a direct ping
+        # with a suspicion threshold, immune to self-inflicted give-ups.
 
     def leave(self) -> None:
         """Graceful departure: link predecessor and successor directly."""

@@ -30,6 +30,13 @@ PIGGYBACK_BYTES = 24
 #: Bytes charged per zone-repository summary in an anti-entropy digest
 #: (repo key ~12B + entry count 4B + 8B checksum; self-healing extension).
 AE_DIGEST_ENTRY_BYTES = 24
+#: Bytes charged per custody-tagged entry on a durable event packet
+#: (custodian addr 4B + token 8B + stream/sequence 4B; delivery-
+#: guarantees extension).
+DURABLE_META_BYTES = 16
+#: Bytes charged per causal-dependency pair on a sequencer-bound packet
+#: (publisher addr 4B + pseq 8B).
+DEP_ENTRY_BYTES = 12
 
 _msg_counter = itertools.count()
 

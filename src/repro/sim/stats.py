@@ -29,6 +29,29 @@ from repro.telemetry.registry import MetricsRegistry
 #: contribution visible in ``transport_summary`` and the run manifest.
 DROP_CAUSES = ("dead_dst", "loss", "partition", "overflow")
 
+#: Why the reliable transport permanently abandoned an event packet.
+#: ``retries`` -- ack timeouts exhausted the retry budget with no
+#: failover route; ``failover`` -- the reroute budget ran out (or the
+#: sender died mid-failover); ``ttl`` -- the hop limit caught a routing
+#: loop; ``shed`` -- admission control dropped a fire-and-forget packet
+#: nobody would retransmit.  The aggregate ``transport.gave_up`` hid
+#: which mechanism lost a delivery; the per-cause split lets the
+#: guarantees experiment attribute exactly what durable mode recovers.
+GIVE_UP_CAUSES = ("retries", "failover", "ttl", "shed")
+
+#: Durable-delivery health counters (delivery-guarantees extension):
+#: custody entries appended / retired by subscriber-level acks /
+#: re-sent by the redelivery scan / evicted by the log budget, plus
+#: out-of-order arrivals dropped by a full reorder buffer.  Created
+#: eagerly so every manifest carries them (zero on best-effort runs).
+DURABLE_COUNTERS = (
+    "durable.appends",
+    "durable.acked",
+    "durable.redelivered",
+    "durable.truncated",
+    "durable.reorder_overflow",
+)
+
 
 class Counter:
     """A named monotonically-increasing tally."""
@@ -83,6 +106,15 @@ class NetworkStats:
         self._c_gave_up = self.registry.counter("transport.gave_up")
         #: SubIDs riding on abandoned packets (deliveries at risk).
         self._c_gave_up_subids = self.registry.counter("transport.gave_up_subids")
+        #: per-cause breakdown of the give-ups (see GIVE_UP_CAUSES).
+        self._c_gave_up_cause = {
+            cause: self.registry.counter(f"transport.gave_up.{cause}")
+            for cause in GIVE_UP_CAUSES
+        }
+        #: durable-delivery custody-log health (zero when the mode is off).
+        self._c_durable = {
+            name: self.registry.counter(name) for name in DURABLE_COUNTERS
+        }
         #: ``ps_busy`` NACKs honoured by senders (overload backpressure:
         #: each one rescheduled a retransmission with exponential backoff
         #: instead of consuming the retry budget).
@@ -99,6 +131,10 @@ class NetworkStats:
         self._c_shed = self.registry.counter("faults.shed")
         #: circuit-breaker transitions to the open state (per node+dst).
         self._c_breaker_open = self.registry.counter("breaker.open")
+        #: iterative DHT lookups restarted from the origin after the
+        #: routing-loop guard tripped -- an expected transient while the
+        #: ring heals around failures, fatal only if it never converges.
+        self._c_lookup_restarts = self.registry.counter("dht.lookup_restarts")
         # Eagerly create the queue-depth gauge so every pub/sub run's
         # manifest carries it (REQUIRED_METRICS), even before the first
         # sample_telemetry() call.
@@ -154,6 +190,14 @@ class NetworkStats:
         self._c_breaker_open.value = float(value)
 
     @property
+    def lookup_restarts(self) -> int:
+        return int(self._c_lookup_restarts.value)
+
+    @lookup_restarts.setter
+    def lookup_restarts(self, value: int) -> None:
+        self._c_lookup_restarts.value = float(value)
+
+    @property
     def dropped(self) -> int:
         return int(self._c_dropped.value)
 
@@ -172,6 +216,32 @@ class NetworkStats:
         """Account one dropped packet under ``cause`` (see DROP_CAUSES)."""
         self._c_dropped.inc()
         self._c_drop_cause[cause].inc()
+
+    @property
+    def gave_up_by_cause(self) -> Dict[str, int]:
+        """``{cause: count}`` over :data:`GIVE_UP_CAUSES` (all keys present)."""
+        return {
+            cause: int(ctr.value)
+            for cause, ctr in self._c_gave_up_cause.items()
+        }
+
+    def record_give_up(self, cause: str, n_subids: int) -> None:
+        """Account one abandoned packet under ``cause`` (GIVE_UP_CAUSES)."""
+        self._c_gave_up.inc()
+        self._c_gave_up_cause[cause].inc()
+        self._c_gave_up_subids.inc(n_subids)
+
+    def record_durable(self, name: str, n: int = 1) -> None:
+        """Bump one ``durable.*`` counter (see DURABLE_COUNTERS)."""
+        self._c_durable[f"durable.{name}"].inc(n)
+
+    @property
+    def durable_counts(self) -> Dict[str, int]:
+        """``{short name: count}`` for the ``durable.*`` counters."""
+        return {
+            name.split(".", 1)[1]: int(ctr.value)
+            for name, ctr in self._c_durable.items()
+        }
 
     def record_send(self, src: int, dst: int, kind: str, size_bytes: int) -> None:
         self.out_bytes[src] += size_bytes
@@ -201,6 +271,8 @@ class NetworkStats:
         self.registry.reset("net.dropped")
         self.registry.reset("faults.shed")
         self.registry.reset("breaker.open")
+        self.registry.reset("durable.")
+        self.registry.reset("dht.lookup_restarts")
 
     def bytes_for(self, prefixes: Iterable[str]) -> float:
         """Total bytes over all message kinds matching any prefix

@@ -27,6 +27,10 @@ REQUIRED_METRICS = (
     "events.published",
     "transport.retransmissions",
     "transport.gave_up",
+    "transport.gave_up.retries",
+    "transport.gave_up.failover",
+    "transport.gave_up.ttl",
+    "transport.gave_up.shed",
     "repair.bytes",
     "node.load_imbalance",
     "zone.occupancy",
@@ -34,6 +38,11 @@ REQUIRED_METRICS = (
     "faults.shed",
     "breaker.open",
     "queue.depth",
+    "durable.appends",
+    "durable.acked",
+    "durable.redelivered",
+    "durable.truncated",
+    "durable.reorder_overflow",
 )
 
 #: Top-level keys ``validate_manifest`` insists on.

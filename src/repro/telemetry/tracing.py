@@ -21,7 +21,13 @@ Span kinds emitted by the stack:
 ``retransmit``  the reliable transport resent an unacked packet
 ``failover``    retry exhaustion: SubIDs rerouted around a dead hop
                 (attrs: ``dead``, ``budget``)
-``give_up``     the transport abandoned a packet (attrs: ``entries``)
+``give_up``     the transport abandoned a packet (attrs: ``entries``,
+                ``cause`` in ``retries|failover|ttl|shed``)
+``durable_redeliver``  a custody log re-sent an unacked obligation
+                (attrs: ``entry_kind``, ``attempt``; delivery
+                guarantees extension, docs/GUARANTEES.md)
+``durable_truncate``   the custody-log budget evicted an entry -- a
+                counted, permanent loss (attrs: ``entry_kind``)
 ``ae_digest``   anti-entropy digest offered to a standby peer
 ``ae_fill``     anti-entropy diff shipped back to the primary
 ``fault``       a :class:`~repro.faults.FaultSchedule` action fired

@@ -62,3 +62,68 @@ class TestValidation:
         with pytest.raises(ValueError):
             HyperSubConfig(overlay="pastry", replication_factor=2)
         HyperSubConfig(replication_factor=4)  # fine on chord
+
+
+class TestGuaranteeKnobs:
+    def test_defaults(self):
+        cfg = HyperSubConfig()
+        assert cfg.delivery_mode == "best_effort"
+        assert cfg.ordering == "none"
+        assert cfg.durable_log_max_entries == 4096
+        assert cfg.reorder_buffer_max == 256
+        assert cfg.durable_redelivery_ms == 5_000.0
+        assert cfg.durable_rejoin_grace_ms == 10_000.0
+
+    def test_unknown_delivery_mode(self):
+        with pytest.raises(ValueError):
+            HyperSubConfig(delivery_mode="at_most_once")
+
+    def test_unknown_ordering(self):
+        with pytest.raises(ValueError):
+            HyperSubConfig(ordering="total")
+
+    def test_durable_requires_reliable_transport(self):
+        with pytest.raises(ValueError):
+            HyperSubConfig(delivery_mode="durable", reliable_delivery=False)
+        HyperSubConfig(delivery_mode="durable", reliable_delivery=True)
+
+    def test_ordering_requires_durable(self):
+        with pytest.raises(ValueError):
+            HyperSubConfig(ordering="fifo", reliable_delivery=True)
+        with pytest.raises(ValueError):
+            HyperSubConfig(ordering="causal", reliable_delivery=True)
+
+    def test_ordering_requires_fully_direct_topology(self):
+        # default direct_rendezvous_levels (8) <= max_level (20): marker
+        # relays would interleave per-publisher streams.
+        with pytest.raises(ValueError):
+            HyperSubConfig(
+                delivery_mode="durable",
+                reliable_delivery=True,
+                ordering="fifo",
+            )
+        for ordering in ("fifo", "causal"):
+            cfg = HyperSubConfig(
+                delivery_mode="durable",
+                reliable_delivery=True,
+                ordering=ordering,
+                direct_rendezvous_levels=21,
+            )
+            assert cfg.ordering == ordering
+
+    def test_log_budget_bounds(self):
+        with pytest.raises(ValueError):
+            HyperSubConfig(durable_log_max_entries=0)
+        with pytest.raises(ValueError):
+            HyperSubConfig(reorder_buffer_max=0)
+
+    def test_redelivery_period_positive(self):
+        with pytest.raises(ValueError):
+            HyperSubConfig(durable_redelivery_ms=0.0)
+        with pytest.raises(ValueError):
+            HyperSubConfig(durable_redelivery_ms=-1.0)
+
+    def test_rejoin_grace_non_negative(self):
+        with pytest.raises(ValueError):
+            HyperSubConfig(durable_rejoin_grace_ms=-1.0)
+        HyperSubConfig(durable_rejoin_grace_ms=0.0)  # grace may be off

@@ -1,0 +1,352 @@
+"""Tests for the delivery-guarantees tier (docs/GUARANTEES.md).
+
+Four layers, cheapest first:
+
+* :class:`TestDurableState` -- unit tests of the custody log itself
+  (append/evict/ack/due, sequence assignment, arc-migration export);
+* :class:`TestOrderingOracle` -- the trace-replay oracles on synthetic
+  span traces, including *negative* cases (a violation the oracle must
+  flag -- an oracle only proves things if it can fail);
+* :class:`TestBestEffortUnchanged` -- the digest-equality contract:
+  ``delivery_mode="best_effort"`` runs are byte-identical no matter how
+  the durable knobs are set (the tier is pay-for-what-you-use);
+* :class:`TestDurableEndToEnd` -- a small full-stack run per guarantee:
+  events published while a subscriber's node is crashed are recovered
+  after rejoin, exactly once, with the custody log fully drained.
+"""
+
+import pytest
+
+from repro.analysis.trace import (
+    check_causal_order,
+    check_fifo_order,
+    ordering_violations,
+)
+from repro.core import (
+    Attribute,
+    Event,
+    HyperSubConfig,
+    HyperSubSystem,
+    Scheme,
+    Subscription,
+)
+from repro.core.durability import DurableState
+from repro.faults import FaultSchedule
+from repro.telemetry.session import telemetry_session
+
+
+# ----------------------------------------------------------------------
+# Custody-log unit tests
+# ----------------------------------------------------------------------
+class TestDurableState:
+    def _entry(self, d, tok_hint=0, now=0.0):
+        return d.append("key", {"event_id": tok_hint}, 5, None, {}, now)
+
+    def test_append_assigns_monotonic_tokens(self):
+        d = DurableState(max_entries=16)
+        e1, ev1 = self._entry(d, 1)
+        e2, ev2 = self._entry(d, 2)
+        assert e2.tok > e1.tok
+        assert not ev1 and not ev2
+        assert list(d.log) == [e1.tok, e2.tok]
+        assert d.high_water == 2
+
+    def test_ack_is_idempotent(self):
+        d = DurableState(max_entries=16)
+        e, _ = self._entry(d)
+        assert d.ack(e.tok) is e
+        assert d.ack(e.tok) is None
+        assert not d.log
+
+    def test_truncation_evicts_oldest_and_counts(self):
+        d = DurableState(max_entries=2)
+        e1, _ = self._entry(d, 1)
+        e2, _ = self._entry(d, 2)
+        e3, evicted = self._entry(d, 3)
+        assert [e.tok for e in evicted] == [e1.tok]
+        assert d.truncated == 1
+        assert list(d.log) == [e2.tok, e3.tok]
+        assert d.high_water == 3  # the peak, not the post-evict size
+
+    def test_due_respects_last_sent(self):
+        d = DurableState(max_entries=16)
+        e1, _ = d.append("key", {}, 1, None, {}, 0.0)
+        e2, _ = d.append("key", {}, 2, None, {}, 900.0)
+        due = d.due(now=1_000.0, interval_ms=500.0)
+        assert due == [e1]
+        e1.last_sent = 1_000.0
+        assert d.due(now=1_000.0, interval_ms=500.0) == []
+
+    def test_sequence_assignment_is_per_stream_contiguous(self):
+        d = DurableState(max_entries=16)
+        assert [d.next_kseq(("S", 7), 3) for _ in range(3)] == [1, 2, 3]
+        assert d.next_kseq(("S", 7), 4) == 1  # independent per key
+        assert d.next_mseq(("S", 7), 3, (9, 1)) == 1
+        assert d.next_mseq(("S", 7), 3, (9, 2)) == 1
+        assert d.next_mseq(("S", 7), 3, (9, 1)) == 2
+
+    def test_export_absorb_site_state_max_merges(self):
+        src = DurableState(max_entries=16)
+        src.site_w[(("S", 1), 40)] = 5
+        src.site_w[(("S", 1), 41)] = 7  # stays: not moved
+        src.mseq[(("S", 1), 40, (8, 2))] = 3
+        exported = src.export_site_state({40})
+        assert (("S", 1), 40) not in src.site_w
+        assert (("S", 1), 41) in src.site_w
+        assert (("S", 1), 40, (8, 2)) not in src.mseq
+
+        dst = DurableState(max_entries=16)
+        dst.site_w[(("S", 1), 40)] = 9  # already ahead: must not regress
+        dst.absorb_site_state(exported)
+        assert dst.site_w[(("S", 1), 40)] == 9
+        assert dst.mseq[(("S", 1), 40, (8, 2))] == 3
+        # A duplicate handoff packet is a no-op.
+        dst.absorb_site_state(exported)
+        assert dst.site_w[(("S", 1), 40)] == 9
+
+
+# ----------------------------------------------------------------------
+# Trace-replay ordering oracles (synthetic spans)
+# ----------------------------------------------------------------------
+def _publish(sid, t, eid, pub, pseq=None, deps=None):
+    attrs = {}
+    if pseq is not None:
+        attrs["pseq"] = pseq
+    if deps is not None:
+        attrs["deps"] = deps
+    return {
+        "kind": "publish", "t": t, "sid": sid, "node": pub, "event": eid,
+        "attrs": attrs,
+    }
+
+
+def _deliver(sid, t, eid, subid):
+    return {
+        "kind": "deliver", "t": t, "sid": sid, "node": subid[0],
+        "event": eid, "attrs": {"subid": list(subid)},
+    }
+
+
+class TestOrderingOracle:
+    def test_clean_trace_has_no_violations(self):
+        spans = [
+            _publish(1, 0.0, 10, pub=3),
+            _publish(2, 1.0, 11, pub=3),
+            _deliver(3, 5.0, 10, (7, 1)),
+            _deliver(4, 6.0, 11, (7, 1)),
+        ]
+        assert check_fifo_order(spans) == []
+
+    def test_fifo_violation_is_flagged(self):
+        spans = [
+            _publish(1, 0.0, 10, pub=3),
+            _publish(2, 1.0, 11, pub=3),
+            _deliver(3, 5.0, 11, (7, 1)),
+            _deliver(4, 6.0, 10, (7, 1)),  # older event after newer one
+        ]
+        v = check_fifo_order(spans)
+        assert len(v) == 1
+        assert v[0]["check"] == "fifo"
+        assert v[0]["publisher"] == 3
+
+    def test_fifo_is_per_publisher(self):
+        # Interleaving across *different* publishers is always legal.
+        spans = [
+            _publish(1, 0.0, 10, pub=3),
+            _publish(2, 1.0, 20, pub=4),
+            _deliver(3, 5.0, 20, (7, 1)),
+            _deliver(4, 6.0, 10, (7, 1)),
+        ]
+        assert check_fifo_order(spans) == []
+
+    def test_causal_dependency_violation_is_flagged(self):
+        # Event 20 declares (pub 3, pseq 1) happened-before it; a
+        # subscriber seeing 20 first and the dependency after is wrong.
+        spans = [
+            _publish(1, 0.0, 10, pub=3, pseq=1),
+            _publish(2, 1.0, 20, pub=4, pseq=1, deps=[[3, 1]]),
+            _deliver(3, 5.0, 20, (7, 1)),
+            _deliver(4, 6.0, 10, (7, 1)),
+        ]
+        v = check_causal_order(spans)
+        assert any(x["check"] == "causal-dep" for x in v)
+
+    def test_causal_contains_fifo(self):
+        spans = [
+            _publish(1, 0.0, 10, pub=3, pseq=1),
+            _publish(2, 1.0, 11, pub=3, pseq=2),
+            _deliver(3, 5.0, 11, (7, 1)),
+            _deliver(4, 6.0, 10, (7, 1)),
+        ]
+        v = check_causal_order(spans)
+        assert any(x["check"] == "causal-fifo" for x in v)
+
+    def test_dispatch_none_checks_nothing(self):
+        spans = [
+            _publish(1, 0.0, 10, pub=3),
+            _publish(2, 1.0, 11, pub=3),
+            _deliver(3, 5.0, 11, (7, 1)),
+            _deliver(4, 6.0, 10, (7, 1)),
+        ]
+        assert ordering_violations(spans, "none") == []
+        assert len(ordering_violations(spans, "fifo")) == 1
+
+
+# ----------------------------------------------------------------------
+# Full-stack runs
+# ----------------------------------------------------------------------
+def _box_scheme():
+    return Scheme("s", [Attribute(x, 0, 1000) for x in "ab"])
+
+
+def _small_system(cfg, num_nodes=24, subs=None):
+    system = HyperSubSystem(num_nodes=num_nodes, config=cfg)
+    scheme = _box_scheme()
+    system.add_scheme(scheme)
+    installed = []
+    for addr, lows, highs in subs or ():
+        sub = Subscription.from_box(scheme, lows, highs)
+        installed.append((sub, system.subscribe(addr, sub)))
+    system.finish_setup()
+    return system, scheme, installed
+
+
+class TestBestEffortUnchanged:
+    def test_durable_knobs_do_not_leak_into_best_effort(self):
+        """Same workload, same best-effort config, wildly different
+        durable knobs: delivery sets, message counts and byte counts
+        must be byte-identical (the digest-equality contract)."""
+        fingerprints = []
+        for knobs in (
+            {},
+            {
+                "durable_log_max_entries": 7,
+                "reorder_buffer_max": 3,
+                "durable_redelivery_ms": 123.0,
+                "durable_rejoin_grace_ms": 0.0,
+            },
+        ):
+            cfg = HyperSubConfig(
+                seed=5, code_bits=12, reliable_delivery=True,
+                retransmit_timeout_ms=500.0, max_retries=2, **knobs
+            )
+            subs = [
+                (a, [100.0 * a % 800, 100.0], [100.0 * a % 800 + 150, 900.0])
+                for a in range(12)
+            ]
+            system, scheme, installed = _small_system(cfg, subs=subs)
+            for i in range(10):
+                system.publish(i % 24, Event(scheme, [80.0 * i % 900, 500.0]))
+            system.run_until_idle()
+            stats = system.network.stats
+            fingerprints.append(
+                (
+                    sorted(
+                        (eid, tuple(sorted((d[0].nid, d[0].iid, d[1])
+                                           for d in rec.deliveries)))
+                        for eid, rec in system.metrics.records.items()
+                    ),
+                    dict(sorted(stats.msgs_by_kind.items())),
+                    stats.total_bytes,
+                )
+            )
+        assert fingerprints[0] == fingerprints[1]
+
+    def test_best_effort_has_no_durable_state(self):
+        cfg = HyperSubConfig(seed=5, code_bits=12)
+        system, scheme, _ = _small_system(cfg)
+        assert all(n.durable is None for n in system.nodes)
+
+
+class TestDurableEndToEnd:
+    def test_events_published_while_subscriber_down_are_recovered(self):
+        """The tentpole claim at its smallest: a subscriber's node
+        crashes, matching events are published while it is down, and
+        after rejoin every one arrives exactly once -- with the custody
+        log fully drained (every append eventually acked)."""
+        cfg = HyperSubConfig(
+            seed=3,
+            code_bits=12,
+            reliable_delivery=True,
+            retransmit_timeout_ms=500.0,
+            max_retries=2,
+            hop_failover=True,
+            failover_backoff_ms=1_000.0,
+            delivery_mode="durable",
+            durable_redelivery_ms=1_000.0,
+            durable_rejoin_grace_ms=2_000.0,
+        )
+        victim = 7
+        subs = [(victim, [200.0, 200.0], [600.0, 600.0])]
+        system, scheme, installed = _small_system(cfg, subs=subs)
+        subid = installed[0][1]
+
+        sched = FaultSchedule()
+        sched.crash(1_000.0, [victim])
+        sched.rejoin(6_000.0, [victim])
+        sched.install(system)
+        system.start_maintenance(stabilize_interval_ms=500.0,
+                                 rpc_timeout_ms=1_500.0)
+        system.start_durable_redelivery()
+
+        events = [Event(scheme, [300.0 + 10 * i, 400.0]) for i in range(4)]
+        eids = []
+        for i, ev in enumerate(events):
+            # All published while the victim is down (t in [2s, 5s)).
+            system.sim.schedule_at(
+                2_000.0 + 1_000.0 * i,
+                lambda ev=ev: eids.append(system.publish(3, ev)),
+            )
+        system.run(until=60_000.0)
+        system.stop_maintenance()
+        system.stop_durable_redelivery()
+        system.run_until_idle()
+
+        for eid in eids:
+            got = [d[0] for d in system.metrics.records[eid].deliveries]
+            assert got.count(subid) == 1, (
+                f"event {eid}: delivered {got.count(subid)} times"
+            )
+        counts = system.network.stats.durable_counts
+        left = sum(len(n.durable.log) for n in system.nodes
+                   if n.durable is not None)
+        assert counts.get("truncated", 0) == 0
+        assert left == 0, f"{left} custody entries never retired"
+        assert counts.get("appends", 0) == counts.get("acked", 0)
+
+    def test_fifo_run_passes_the_ordering_oracle(self, tmp_path):
+        """A healthy durable+fifo run ends with zero oracle violations
+        (the oracle is wired through InvariantChecker.check_ordering)."""
+        cfg = HyperSubConfig(
+            seed=11,
+            code_bits=12,
+            reliable_delivery=True,
+            retransmit_timeout_ms=500.0,
+            max_retries=2,
+            delivery_mode="durable",
+            ordering="fifo",
+            direct_rendezvous_levels=21,
+            durable_redelivery_ms=1_000.0,
+        )
+        with telemetry_session(str(tmp_path), tracing=True):
+            subs = [(a, [100.0, 100.0], [900.0, 900.0]) for a in range(6)]
+            system, scheme, installed = _small_system(cfg, subs=subs)
+            system.start_durable_redelivery()
+            for i in range(8):
+                system.publish(2, Event(scheme, [200.0 + 50 * i, 500.0]))
+            system.run(until=20_000.0)
+            system.stop_durable_redelivery()
+            system.run_until_idle()
+            report = system.check_invariants(
+                check_ring=False, check_coverage=False, check_ordering=True
+            )
+            assert report.violations == []
+            # Every subscriber saw all eight events, in publish order.
+            per_sub = {}
+            for eid, rec in sorted(system.metrics.records.items()):
+                for d in rec.deliveries:
+                    per_sub.setdefault(d[0], []).append(eid)
+            assert len(per_sub) == len(installed)
+            for subid, seq in per_sub.items():
+                assert seq == sorted(seq)
+                assert len(seq) == 8

@@ -1,0 +1,144 @@
+"""Property test: durable+fifo is exactly-once in publisher order under
+arbitrary loss and crash-rejoin schedules (tentpole of the guarantees
+tier, docs/GUARANTEES.md).
+
+Hypothesis drives the *fault space* -- the packet-loss rate and window,
+which nodes crash and when they return -- while the protocol under test
+stays fixed.  Whatever schedule it invents, three things must hold for
+every subscription at quiescence:
+
+* **completeness** -- every matching event is delivered (custody is
+  retired only by subscriber-level acks, and every victim rejoins, so
+  "the network was bad" is never an excuse);
+* **exactly-once** -- no delivery appears twice (sequence watermarks
+  and the delivered-set absorb redelivery duplicates);
+* **publisher order** -- each subscriber sees each publisher's events
+  in publish order (per-(publisher, key) kseq streams with bounded
+  reorder parking).
+
+Loss injection ends before the heal tail: custody redelivery guarantees
+delivery *eventually*, and a finite run needs the fault to be finite
+too.  Crash windows sit inside the publish window on purpose -- events
+published while a subscriber's node is down are the interesting ones.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Attribute,
+    Event,
+    HyperSubConfig,
+    HyperSubSystem,
+    Scheme,
+    Subscription,
+)
+from repro.faults import FaultSchedule
+
+N_NODES = 20
+N_EVENTS = 10
+PUBLISHERS = (2, 3)  # fixed, never crashed: their streams must be long
+
+
+@given(
+    seed=st.integers(0, 2**16),
+    loss_rate=st.floats(0.0, 0.35),
+    victims=st.sets(
+        st.integers(0, N_NODES - 1).filter(lambda a: a not in PUBLISHERS),
+        max_size=3,
+    ),
+)
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_durable_fifo_exactly_once_in_publisher_order(
+    seed, loss_rate, victims
+):
+    cfg = HyperSubConfig(
+        seed=seed % 97,
+        code_bits=12,
+        reliable_delivery=True,
+        retransmit_timeout_ms=500.0,
+        max_retries=2,
+        hop_failover=True,
+        failover_backoff_ms=1_000.0,
+        delivery_mode="durable",
+        ordering="fifo",
+        direct_rendezvous_levels=21,
+        durable_redelivery_ms=1_000.0,
+        durable_rejoin_grace_ms=2_000.0,
+    )
+    system = HyperSubSystem(num_nodes=N_NODES, config=cfg)
+    scheme = Scheme("s", [Attribute(x, 0, 1000) for x in "ab"])
+    system.add_scheme(scheme)
+    installed = []
+    for a in range(0, N_NODES, 2):
+        sub = Subscription.from_box(scheme, [100.0, 100.0], [900.0, 900.0])
+        installed.append((sub, system.subscribe(a, sub)))
+    system.finish_setup()
+
+    sched = FaultSchedule()
+    if loss_rate > 0.0:
+        sched.loss(1_000.0, loss_rate, until_ms=14_000.0, seed=seed)
+    if victims:
+        sched.crash(2_500.0, sorted(victims))
+        sched.rejoin(9_000.0, sorted(victims))
+    sched.install(system)
+    system.start_maintenance(stabilize_interval_ms=500.0,
+                             rpc_timeout_ms=1_500.0)
+    system.start_durable_redelivery()
+
+    order = {}  # eid -> (publisher, per-publisher index)
+    eids = []
+    live = {}  # subid -> [eid in true delivery order]
+
+    def on_deliver(addr, event_id, subid):
+        live.setdefault((subid.nid, subid.iid), []).append(event_id)
+
+    system.on_deliver = on_deliver
+
+    def publish(addr, i):
+        eid = system.publish(addr, Event(scheme, [300.0 + 13 * i, 500.0]))
+        order[eid] = (addr, i)
+        eids.append(eid)
+
+    for i in range(N_EVENTS):
+        addr = PUBLISHERS[i % len(PUBLISHERS)]
+        system.sim.schedule_at(2_000.0 + 800.0 * i, publish, addr, i)
+
+    system.run(until=40_000.0)
+    # Heal tail: custody retirement is the termination signal.
+    deadline = system.sim.now + 300_000.0
+    while system.sim.now < deadline and any(
+        n.durable is not None and n.durable.log for n in system.nodes
+    ):
+        system.run(until=system.sim.now + 5_000.0)
+    system.stop_maintenance()
+    system.stop_durable_redelivery()
+    system.run_until_idle()
+
+    left = sum(len(n.durable.log) for n in system.nodes
+               if n.durable is not None)
+    assert left == 0, f"{left} custody entries never retired"
+
+    want = len(eids)  # every sub matches every event by construction
+    for (sub, sid) in installed:
+        key = (sid.nid, sid.iid)
+        got = live.get(key, [])
+        assert len(got) == len(set(got)), f"{sid}: duplicate delivery"
+        assert len(got) == want, (
+            f"{sid}: {len(got)}/{want} events delivered "
+            f"(loss={loss_rate:.2f}, victims={sorted(victims)})"
+        )
+        # Publisher order: the true delivery sequence, filtered to one
+        # publisher, must be increasing in publish index.
+        last = {}
+        for eid in got:
+            pub, i = order[eid]
+            assert last.get(pub, -1) < i, (
+                f"{sid}: publisher {pub} out of order "
+                f"(loss={loss_rate:.2f}, victims={sorted(victims)})"
+            )
+            last[pub] = i

@@ -155,7 +155,14 @@ class TestRouteCacheInvalidation:
         assert after_fix == node.next_hop_addr(key)
 
         # Successor change (wholesale reassignment, stabilize-style).
-        node.successors = [(donor.node_id, donor.addr)]
+        # Two entries, so the eviction below still has an alternate --
+        # the last successor is never evicted (that would be permanent
+        # self-isolation; see ChordNode.evict_neighbor).
+        other = system.nodes[2]
+        node.successors = [
+            (donor.node_id, donor.addr),
+            (other.node_id, other.addr),
+        ]
         assert node._cached_next_hop(key) == node.next_hop_addr(key)
         assert node.rc_misses == misses + 2
 
