@@ -73,9 +73,18 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "bench", "list", "trace"],
+        choices=sorted(EXPERIMENTS) + ["all", "bench", "list", "top", "trace"],
         help="experiment id (see `list`), `bench` for the tracked perf "
-        "harness, or `trace` to inspect a trace",
+        "harness, `top` to watch a running sweep, or `trace` to "
+        "inspect a trace",
+    )
+    parser.add_argument(
+        "dir",
+        nargs="?",
+        default=None,
+        metavar="DIR",
+        help="(top) telemetry directory to watch (default: "
+        "--telemetry-out, else out)",
     )
     parser.add_argument(
         "--scale",
@@ -127,10 +136,43 @@ def main(argv=None) -> int:
         default="BENCH_hotpath.json",
         help="(bench) where to write the results JSON",
     )
+    parser.add_argument(
+        "--compare",
+        action="store_true",
+        help="(bench) diff this run against the last committed "
+        "BENCH_trajectory.json point and fail on a >20%% floor "
+        "regression (docs/PERFORMANCE.md)",
+    )
+    parser.add_argument(
+        "--trajectory",
+        metavar="FILE",
+        default=None,
+        help="(bench) trajectory file to compare against and append to "
+        "(default: BENCH_trajectory.json)",
+    )
+    parser.add_argument(
+        "--live",
+        action="store_true",
+        help="(top) keep refreshing until the sweep status reports "
+        "finished (Ctrl-C to stop)",
+    )
+    parser.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="SEC",
+        help="(top) refresh period for --live (default: 2s)",
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "trace":
         return run_trace(args)
+
+    if args.experiment == "top":
+        from repro.telemetry.export import run_top
+
+        directory = args.dir or args.telemetry_out or "out"
+        return run_top(directory, live=args.live, interval=args.interval)
 
     if args.quick and not args.scale:
         args.scale = "quick"
@@ -146,9 +188,14 @@ def main(argv=None) -> int:
         os.environ["REPRO_RESULTS_DIR"] = args.results_dir
 
     if args.experiment == "bench":
-        from repro.bench import run_bench
+        from repro.bench import DEFAULT_TRAJECTORY_PATH, run_bench
 
-        return run_bench(args.out, telemetry_dir=args.telemetry_out)
+        return run_bench(
+            args.out,
+            telemetry_dir=args.telemetry_out,
+            compare=args.compare,
+            trajectory_path=args.trajectory or DEFAULT_TRAJECTORY_PATH,
+        )
 
     if args.experiment == "list":
         for name in RUN_ORDER:

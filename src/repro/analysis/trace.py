@@ -102,6 +102,7 @@ def transport_summary(stats) -> Dict[str, int]:
         "breaker_opens": stats.breaker_opens,
         "dropped": stats.dropped,
         "dropped_by_cause": stats.dropped_by_cause,
+        "queue_peak": stats.queue_peak,
         "durable": stats.durable_counts,
         "msgs_by_kind": dict(sorted(stats.msgs_by_kind.items())),
     }
@@ -127,6 +128,8 @@ def render_transport_summary(stats) -> str:
             f"overload: {s['shed']} shed, {s['busy_backoffs']} busy "
             f"backoffs, {s['breaker_opens']} breaker opens"
         )
+    if s["queue_peak"]:
+        lines.append(f"ingress: peak queue depth {s['queue_peak']}")
     drops = {c: n for c, n in s["dropped_by_cause"].items() if n}
     if drops:
         per_cause = ", ".join(f"{c} x{n}" for c, n in sorted(drops.items()))

@@ -12,6 +12,13 @@ CI's ``bench-smoke`` job runs ``python -m repro bench --quick``,
 uploads the JSON as an artifact and fails the build when a floor check
 fails -- so a routing or scheduler regression shows up as a red build,
 not as a mysteriously slower ``fig5`` three PRs later.
+
+The **trajectory** turns single snapshots into history: every bench run
+appends one point (git rev, environment fingerprint, the floor
+metrics including ``mem.bytes_per_node``) to the committed
+``BENCH_trajectory.json``, and ``bench --compare`` diffs the fresh run
+against the last committed comparable point, failing on a >20%
+regression of any floor (docs/PERFORMANCE.md).
 """
 
 from __future__ import annotations
@@ -23,11 +30,21 @@ import random
 import sys
 import tempfile
 import time
+from pathlib import Path
 from time import perf_counter
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 #: Version tag for downstream readers of BENCH_hotpath.json.
 SCHEMA = "repro-bench/1"
+
+#: Version tag of the committed trajectory file.
+TRAJECTORY_SCHEMA = "repro-bench-trajectory/1"
+
+#: Where the trajectory lives (committed at the repo root).
+DEFAULT_TRAJECTORY_PATH = "BENCH_trajectory.json"
+
+#: ``--compare`` fails when a floor metric regresses by more than this.
+REGRESSION_TOLERANCE = 0.20
 
 #: Conservative floor for scheduler throughput (events/sec).  A shared
 #: CI runner is easily 5x slower than a laptop; the floor only has to
@@ -249,6 +266,7 @@ def _run_macro_once(
         t0 = perf_counter()
         system.run_until_idle()
         wall = perf_counter() - t0
+        memory = system.sample_memory()
         profile = tel.profiler.summary()
         rc = system.route_cache_stats()
         deliveries = sum(
@@ -260,6 +278,7 @@ def _run_macro_once(
         "events_per_sec": num_events / wall,
         "deliveries": deliveries,
         "route_cache_stats": rc,
+        "memory": memory.as_dict() if memory is not None else None,
         "profile": {
             k: v for k, v in profile.items() if k.startswith("algo5.")
         },
@@ -307,13 +326,193 @@ def validate_bench(data: Dict[str, Any]) -> Dict[str, bool]:
         "deliveries_unchanged": (
             macro["cache_on"]["deliveries"] == macro["cache_off"]["deliveries"]
         ),
+        "memory_accounted": (
+            (macro["cache_on"].get("memory") or {}).get("bytes_per_node", 0.0)
+            > 0.0
+        ),
     }
+
+
+# ----------------------------------------------------------------------
+# The tracked perf trajectory (``bench --compare``)
+# ----------------------------------------------------------------------
+#: Floor metrics tracked point-to-point.  ``direction`` says which way
+#: is better; ``env`` names the environment-fingerprint fields that
+#: must match between two points for the comparison to mean anything.
+#: Throughput floors need the same machine/core-count/interpreter;
+#: ``mem_bytes_per_node`` is machine-load independent, so only the
+#: interpreter (object layouts change across minors) and architecture
+#: (pointer width) gate it -- it stays comparable across CI runners.
+_FULL_ENV = ("machine", "cpu_count", "python_minor")
+_MEM_ENV = ("machine", "python_minor")
+TRAJECTORY_FLOORS: Dict[str, Dict[str, Any]] = {
+    "events_per_sec": {"direction": "higher", "env": _FULL_ENV},
+    "scheduler_ops_per_sec": {"direction": "higher", "env": _FULL_ENV},
+    "next_hop_ops_per_sec": {"direction": "higher", "env": _FULL_ENV},
+    "routing_speedup": {"direction": "higher", "env": _FULL_ENV},
+    "matching_grid_speedup": {"direction": "higher", "env": _FULL_ENV},
+    "mem_bytes_per_node": {"direction": "lower", "env": _MEM_ENV},
+}
+
+
+def _python_minor(version: str) -> str:
+    return ".".join(version.split(".")[:2])
+
+
+def trajectory_point(data: Dict[str, Any]) -> Dict[str, Any]:
+    """Flatten one BENCH_hotpath document into one trajectory point."""
+    micro = data["micro"]
+    macro = data["macro"]
+    mem = (macro["cache_on"].get("memory") or {})
+    return {
+        "created_utc": data["created_utc"],
+        "git_rev": data["git_rev"],
+        "scale": dict(data["scale"]),
+        "env": {
+            "machine": data.get("machine"),
+            "cpu_count": data.get("cpu_count"),
+            "python": data.get("python"),
+            "python_minor": _python_minor(data.get("python", "")),
+        },
+        "metrics": {
+            "events_per_sec": macro["cache_on"]["events_per_sec"],
+            "scheduler_ops_per_sec": micro["scheduler"]["ops_per_sec"],
+            "next_hop_ops_per_sec": micro["routing"]["next_hop_ops_per_sec"],
+            "routing_speedup": micro["routing"]["closest_preceding_speedup"],
+            "matching_grid_speedup": micro["matching"]["grid_speedup"],
+            "mem_bytes_per_node": float(mem.get("bytes_per_node", 0.0)),
+            "wall_improvement": macro["wall_improvement"],
+        },
+    }
+
+
+def load_trajectory(path) -> Dict[str, Any]:
+    """The committed trajectory document (fresh/empty when absent)."""
+    path = Path(path)
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return {"schema": TRAJECTORY_SCHEMA, "points": []}
+    if doc.get("schema") != TRAJECTORY_SCHEMA:
+        return {"schema": TRAJECTORY_SCHEMA, "points": []}
+    doc.setdefault("points", [])
+    return doc
+
+
+def append_trajectory(path, point: Dict[str, Any]) -> Dict[str, Any]:
+    """Append ``point`` to the trajectory file (created when absent)."""
+    doc = load_trajectory(path)
+    doc["points"].append(point)
+    Path(path).write_text(
+        json.dumps(doc, indent=1, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return doc
+
+
+def find_baseline(
+    doc: Dict[str, Any], point: Dict[str, Any]
+) -> Optional[Dict[str, Any]]:
+    """The newest committed point at the same scale, or None.
+
+    Scale identity means the same (num_nodes, num_events) pair -- a
+    ``--quick`` run must never be judged against a full-scale point.
+    """
+    target = (
+        point["scale"].get("num_nodes"),
+        point["scale"].get("num_events"),
+    )
+    for prior in reversed(doc.get("points", [])):
+        scale = prior.get("scale", {})
+        if (scale.get("num_nodes"), scale.get("num_events")) == target:
+            return prior
+    return None
+
+
+def compare_points(
+    baseline: Dict[str, Any],
+    point: Dict[str, Any],
+    tolerance: float = REGRESSION_TOLERANCE,
+) -> Tuple[List[str], List[str]]:
+    """``(regressions, notes)`` between two trajectory points.
+
+    A floor metric is compared only when every environment field it
+    requires matches between the points (notes say what was skipped and
+    why) -- a laptop's throughput is no baseline for a CI runner, but
+    bytes/node carries across.
+    """
+    regressions: List[str] = []
+    notes: List[str] = []
+    base_env = baseline.get("env", {})
+    env = point.get("env", {})
+    for name, spec in TRAJECTORY_FLOORS.items():
+        mismatched = [
+            f for f in spec["env"] if base_env.get(f) != env.get(f)
+        ]
+        if mismatched:
+            notes.append(
+                f"{name}: skipped (env mismatch on {', '.join(mismatched)})"
+            )
+            continue
+        base = baseline.get("metrics", {}).get(name)
+        new = point.get("metrics", {}).get(name)
+        if not base or new is None:
+            notes.append(f"{name}: skipped (missing value)")
+            continue
+        if spec["direction"] == "higher":
+            change = (new - base) / base
+            worse = change < -tolerance
+        else:
+            change = (new - base) / base
+            worse = change > tolerance
+        arrow = f"{base:,.1f} -> {new:,.1f} ({change:+.1%})"
+        if worse:
+            regressions.append(f"{name}: {arrow} exceeds {tolerance:.0%}")
+        else:
+            notes.append(f"{name}: {arrow} ok")
+    return regressions, notes
+
+
+def compare_to_trajectory(
+    data: Dict[str, Any],
+    path=DEFAULT_TRAJECTORY_PATH,
+    tolerance: float = REGRESSION_TOLERANCE,
+) -> Tuple[bool, List[str]]:
+    """Diff a fresh bench document against the committed trajectory.
+
+    Returns ``(ok, report lines)``; ``ok`` is False only on a floor
+    regression beyond ``tolerance``.  No comparable committed point
+    (first run at a scale, or a brand-new file) passes with a note.
+    """
+    point = trajectory_point(data)
+    doc = load_trajectory(path)
+    baseline = find_baseline(doc, point)
+    if baseline is None:
+        return True, [
+            f"trajectory: no committed point at scale "
+            f"{point['scale'].get('num_nodes')}x"
+            f"{point['scale'].get('num_events')} in {path}; nothing to "
+            "compare (the new point becomes the baseline)"
+        ]
+    regressions, notes = compare_points(baseline, point, tolerance)
+    lines = [
+        f"trajectory: comparing against {baseline.get('git_rev', '?')[:12]} "
+        f"({baseline.get('created_utc', '?')})"
+    ]
+    lines.extend(f"  {n}" for n in notes)
+    lines.extend(f"  REGRESSION {r}" for r in regressions)
+    return not regressions, lines
 
 
 # ----------------------------------------------------------------------
 # Entry point (``python -m repro bench``)
 # ----------------------------------------------------------------------
-def run_bench(out_path: str, telemetry_dir: Optional[str] = None) -> int:
+def run_bench(
+    out_path: str,
+    telemetry_dir: Optional[str] = None,
+    compare: bool = False,
+    trajectory_path: str = DEFAULT_TRAJECTORY_PATH,
+    tolerance: float = REGRESSION_TOLERANCE,
+) -> int:
     from repro.experiments.common import scale_from_env
     from repro.telemetry.manifest import git_revision
 
@@ -338,6 +537,8 @@ def run_bench(out_path: str, telemetry_dir: Optional[str] = None) -> int:
         "git_rev": git_revision(),
         "python": platform.python_version(),
         "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "pid": os.getpid(),
         "scale": {
             "name": os.environ.get("REPRO_SCALE", "bench"),
             "num_nodes": num_nodes,
@@ -354,8 +555,19 @@ def run_bench(out_path: str, telemetry_dir: Optional[str] = None) -> int:
         json.dump(data, fh, indent=2, sort_keys=True)
         fh.write("\n")
 
+    # Compare against the *committed* trajectory first, then append the
+    # fresh point -- one invocation both gates and records.
+    compare_ok = True
+    if compare:
+        compare_ok, lines = compare_to_trajectory(
+            data, trajectory_path, tolerance
+        )
+        print("\n".join(lines), file=sys.stderr if not compare_ok else sys.stdout)
+    append_trajectory(trajectory_path, trajectory_point(data))
+
     r = micro["routing"]
     m = macro["cache_on"]
+    mem = m.get("memory") or {}
     print(
         f"scheduler     {micro['scheduler']['ops_per_sec']:12,.0f} ops/s\n"
         f"next_hop      {r['next_hop_ops_per_sec']:12,.0f} hops/s "
@@ -367,6 +579,9 @@ def run_bench(out_path: str, telemetry_dir: Optional[str] = None) -> int:
         f"store         put {micro['store']['put_ms']:.1f}ms / get "
         f"{micro['store']['get_ms']:.1f}ms "
         f"({micro['store']['entry_kb']:.0f} KB/entry)\n"
+        f"memory        {mem.get('bytes_per_node', 0.0):12,.0f} bytes/node "
+        f"({mem.get('total_bytes', 0) / 1e6:.1f} MB over "
+        f"{mem.get('alive_nodes', 0)} nodes)\n"
         f"macro         {m['wall_seconds']:.2f}s "
         f"({m['events_per_sec']:,.0f} events/s), route-cache hit rate "
         f"{m['route_cache_stats']['hit_rate']:.3f}, "
@@ -375,6 +590,9 @@ def run_bench(out_path: str, telemetry_dir: Optional[str] = None) -> int:
     failed = [name for name, ok in checks.items() if not ok]
     if failed:
         print(f"BENCH CHECKS FAILED: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    if not compare_ok:
+        print("BENCH TRAJECTORY REGRESSION (see above)", file=sys.stderr)
         return 1
     print(f"all checks passed; wrote {out_path}")
     return 0

@@ -273,6 +273,10 @@ class HyperSubSystem:
             # EventRecord.edges in lockstep so both views agree.
             self.tracing = self.telemetry.tracing
             self.telemetry.attach_system(self)
+            # Eagerly create the memory gauge so every telemetry-enabled
+            # manifest carries it (REQUIRED_METRICS) even when no
+            # sample_memory() call happens before finalize.
+            self.telemetry.registry.gauge("mem.bytes_per_node")
 
     def _apply_service_model(self, node) -> None:
         """Switch ``node`` to finite service (bounded ingress queue,
@@ -397,6 +401,7 @@ class HyperSubSystem:
         self.network.stats.reset()
         self.metrics.clear_events()
         self.sample_telemetry()
+        self.sample_memory()
 
     def run(self, until: Optional[float] = None) -> int:
         n = self.sim.run(until=until)
@@ -472,6 +477,35 @@ class HyperSubSystem:
                 )
             )
         reg.sample_all(self.sim.now)
+
+    def sample_memory(self, node_sample: Optional[int] = None):
+        """Measure per-subsystem memory and publish it as gauges.
+
+        Deliberately separate from :meth:`sample_telemetry`: the deep
+        walk is O(node sample x table size), far too heavy for a
+        per-phase hook that some tests call in a tight loop.  It runs
+        at ``finish_setup`` (the steady-state footprint of the
+        installed subscription/zone tables), after experiment runs that
+        want the loaded footprint, and under ``python -m repro bench``
+        where ``mem.bytes_per_node`` feeds the tracked perf trajectory.
+
+        Returns the :class:`~repro.telemetry.memory.MemoryReport`, or
+        None when no telemetry session is active.
+        """
+        tel = self.telemetry
+        if tel is None:
+            return None
+        from repro.telemetry.memory import DEFAULT_NODE_SAMPLE, publish_memory
+
+        report = publish_memory(
+            self,
+            tel.registry,
+            node_sample=node_sample
+            if node_sample is not None
+            else DEFAULT_NODE_SAMPLE,
+        )
+        tel.registry.sample("mem.bytes_per_node", self.sim.now)
+        return report
 
     # ------------------------------------------------------------------
     # Load balancing entry points

@@ -190,6 +190,9 @@ def run_delivery(
 
     gen.schedule_events(system, count=cfg.num_events)
     system.run_until_idle()
+    # Loaded-state footprint: subscription/zone tables plus whatever the
+    # event phase left behind (custody logs, route cache, ...).
+    system.sample_memory()
 
     metrics = system.metrics
     result = DeliveryResult(
@@ -240,6 +243,10 @@ def _record_delivery_telemetry(
             "from_store": cache_hit,
         },
     )
+    # One live snapshot per resolved point: this is what streams out to
+    # metrics_stream.jsonl and, in a parallel sweep, rides the worker's
+    # manifest back to the parent (see repro.telemetry.export).
+    tel.stream_snapshot(point=cfg.label, kind="delivery", from_store=cache_hit)
 
 
 def clear_cache() -> None:

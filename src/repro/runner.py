@@ -359,6 +359,89 @@ class SweepOutcome:
         }
 
 
+class _SweepMonitor:
+    """Live progress of one sweep (see ``repro.telemetry.export``).
+
+    Every resolved point updates two artifacts in the parent session's
+    output directory: ``sweep_status.json`` (atomically rewritten
+    progress document -- points done/failed/retried, store hits,
+    events/s, RSS, per-worker lag) and one line in
+    ``metrics_stream.jsonl`` (a full metric snapshot).  ``python -m
+    repro top DIR`` renders both while the sweep is running.
+    """
+
+    def __init__(self, session, label: str, jobs: int, total: int) -> None:
+        self.session = session
+        self.label = label
+        self.jobs = jobs
+        self.total = total
+        self.t0 = time.perf_counter()
+        self.done = 0
+        self.counts = {"run": 0, "store": 0, "memo": 0, "failed": 0}
+        self.retried = 0
+        self.events_done = 0
+        self.workers: Dict[str, Dict[str, Any]] = {}
+
+    def _status(self, finished: bool) -> Dict[str, Any]:
+        from repro.telemetry.export import rss_bytes
+
+        elapsed = time.perf_counter() - self.t0
+        return {
+            "label": self.label,
+            "pid": os.getpid(),
+            "jobs": self.jobs,
+            "points_total": self.total,
+            "done": self.done,
+            "executed": self.counts["run"],
+            "store_hits": self.counts["store"],
+            "memo_hits": self.counts["memo"],
+            "failed": self.counts["failed"],
+            "retried": self.retried,
+            "events_done": self.events_done,
+            "events_per_sec": self.events_done / elapsed if elapsed > 0 else 0.0,
+            "elapsed_seconds": elapsed,
+            "rss_bytes": rss_bytes(),
+            "workers": self.workers,
+            "finished": finished,
+        }
+
+    def note(self, rep: PointReport, cfg: DeliveryConfig) -> None:
+        """One point resolved (any source); refresh both live artifacts."""
+        from repro.telemetry.export import STATUS_FILENAME, write_status
+
+        self.done += 1
+        self.counts[rep.source] = self.counts.get(rep.source, 0) + 1
+        if rep.attempts > 1:
+            self.retried += 1
+        if rep.source == "run":
+            self.events_done += cfg.num_events
+            if rep.worker is not None:
+                w = self.workers.setdefault(
+                    f"worker-{rep.worker}",
+                    {"points": 0, "wall_seconds": 0.0},
+                )
+                w["points"] += 1
+                w["wall_seconds"] += rep.wall_seconds
+                w["last_done_wall"] = time.time()
+        write_status(
+            self.session.out_dir / STATUS_FILENAME, self._status(False)
+        )
+        self.session.stream_snapshot(
+            kind="sweep",
+            point=rep.label,
+            source=rep.source,
+            done=self.done,
+            points_total=self.total,
+        )
+
+    def finish(self) -> None:
+        from repro.telemetry.export import STATUS_FILENAME, write_status
+
+        write_status(
+            self.session.out_dir / STATUS_FILENAME, self._status(True)
+        )
+
+
 class SweepError(RuntimeError):
     """Raised after a sweep completes with one or more failed points.
 
@@ -485,8 +568,13 @@ def run_sweep(
 
     by_cfg: Dict[DeliveryConfig, DeliveryResult] = {}
     reports: Dict[DeliveryConfig, PointReport] = {}
-    manifests: List[Dict[str, Any]] = []
     pending: List[DeliveryConfig] = []
+    session = current_session()
+    monitor = (
+        _SweepMonitor(session, label, jobs, len(unique))
+        if session is not None
+        else None
+    )
 
     def _report(cfg: DeliveryConfig, source: str, **kw) -> PointReport:
         rep = PointReport(
@@ -498,6 +586,8 @@ def run_sweep(
             **kw,
         )
         reports[cfg] = rep
+        if monitor is not None:
+            monitor.note(rep, cfg)
         return rep
 
     # -- phase 1: resolve from memo and store (the resume path) --------
@@ -562,7 +652,11 @@ def run_sweep(
                     if payload["ok"]:
                         result = payload["result"]
                         by_cfg[cfg] = result
-                        manifests.append(payload["manifest"])
+                        if session is not None:
+                            # Merge immediately (not at sweep end) so the
+                            # parent registry -- and therefore the status
+                            # panel and snapshot stream -- grows live.
+                            session.merge_child_manifest(payload["manifest"])
                         _report(
                             cfg, "run",
                             attempts=1,
@@ -589,19 +683,22 @@ def run_sweep(
         wall_seconds=time.perf_counter() - t_start,
         label=label,
     )
-    _record_sweep_telemetry(outcome, manifests)
+    if monitor is not None:
+        monitor.finish()
+    _record_sweep_telemetry(outcome)
     return outcome
 
 
-def _record_sweep_telemetry(
-    outcome: SweepOutcome, worker_manifests: List[Dict[str, Any]]
-) -> None:
-    """Merge worker manifests + the sweep block into the parent session."""
+def _record_sweep_telemetry(outcome: SweepOutcome) -> None:
+    """Record the sweep block in the parent session.
+
+    Worker manifests are merged *inline* as each point completes (see
+    ``run_sweep``'s completion loop) so the live view tracks the sweep;
+    this epilogue only adds the store counters and the ``sweeps`` entry.
+    """
     session = current_session()
     if session is None:
         return
-    for manifest in worker_manifests:
-        session.merge_child_manifest(manifest)
     session.registry.counter("store.hits").inc(outcome.store_hits)
     session.registry.counter("store.misses").inc(outcome.executed)
     session.extra.setdefault("sweeps", []).append(outcome.manifest_block())

@@ -119,6 +119,7 @@ class SimNode:
         depth = self.ingress_depth
         if depth > self.ingress_peak:
             self.ingress_peak = depth
+            self.network.stats.note_queue_depth(depth)
         self._pump()
 
     def _pump(self) -> None:

@@ -135,10 +135,13 @@ class NetworkStats:
         #: routing-loop guard tripped -- an expected transient while the
         #: ring heals around failures, fatal only if it never converges.
         self._c_lookup_restarts = self.registry.counter("dht.lookup_restarts")
-        # Eagerly create the queue-depth gauge so every pub/sub run's
-        # manifest carries it (REQUIRED_METRICS), even before the first
-        # sample_telemetry() call.
+        # Eagerly create the queue-depth gauges so every pub/sub run's
+        # manifest carries them (REQUIRED_METRICS), even before the first
+        # sample_telemetry() call.  ``queue.depth`` is the instantaneous
+        # total; ``queue.depth.peak`` is the deepest single-node ingress
+        # backlog seen anywhere over the whole run (finite-service model).
         self.registry.gauge("queue.depth")
+        self._g_queue_peak = self.registry.gauge("queue.depth.peak")
 
     # -- registry-backed counter attributes -----------------------------
     @property
@@ -243,6 +246,17 @@ class NetworkStats:
             for name, ctr in self._c_durable.items()
         }
 
+    def note_queue_depth(self, depth: int) -> None:
+        """Raise the run-wide ingress high-water mark (cheap: only a new
+        per-node peak reaches here, so this is rare by construction)."""
+        if depth > self._g_queue_peak.value:
+            self._g_queue_peak.set(float(depth))
+
+    @property
+    def queue_peak(self) -> int:
+        """Deepest single-node ingress backlog observed this run."""
+        return int(self._g_queue_peak.value)
+
     def record_send(self, src: int, dst: int, kind: str, size_bytes: int) -> None:
         self.out_bytes[src] += size_bytes
         self.out_msgs[src] += 1
@@ -273,6 +287,7 @@ class NetworkStats:
         self.registry.reset("breaker.open")
         self.registry.reset("durable.")
         self.registry.reset("dht.lookup_restarts")
+        self.registry.reset("queue.depth.peak")
 
     def bytes_for(self, prefixes: Iterable[str]) -> float:
         """Total bytes over all message kinds matching any prefix

@@ -14,12 +14,26 @@ Four pieces, one session:
 See docs/OBSERVABILITY.md for the metric catalogue and trace schema.
 """
 
+from repro.telemetry.export import (
+    SnapshotStreamer,
+    make_snapshot,
+    merge_snapshots,
+    read_snapshots,
+    render_top,
+)
 from repro.telemetry.manifest import (
     REQUIRED_METRICS,
     load_manifest,
     merge_manifests,
     validate_manifest,
     write_manifest,
+)
+from repro.telemetry.memory import (
+    MemoryReport,
+    deep_sizeof,
+    measure_system,
+    publish_memory,
+    rss_bytes,
 )
 from repro.telemetry.profiler import Profiler
 from repro.telemetry.registry import Counter, Gauge, Histogram, MetricsRegistry
@@ -43,17 +57,27 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "MemoryReport",
     "MetricsRegistry",
     "Profiler",
+    "SnapshotStreamer",
     "Span",
     "TelemetrySession",
     "Tracer",
     "current_session",
+    "deep_sizeof",
     "edges_from_spans",
     "load_manifest",
+    "make_snapshot",
+    "measure_system",
     "merge_manifests",
+    "merge_snapshots",
+    "publish_memory",
     "read_jsonl",
+    "read_snapshots",
     "render_span_tree",
+    "render_top",
+    "rss_bytes",
     "set_session",
     "spans_for_event",
     "telemetry_session",

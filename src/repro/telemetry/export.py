@@ -1,0 +1,308 @@
+"""Streaming metric export: live JSONL snapshots + the ``top`` view.
+
+The PR 5 runner made long sweeps parallel and crash-tolerant -- and
+completely opaque until they finish.  This module is the live window:
+
+* :func:`make_snapshot` / :class:`SnapshotStreamer` -- one JSON object
+  per line (sim time + wall time + every counter/gauge + RSS) appended
+  to ``metrics_stream.jsonl`` in the telemetry output directory,
+  flushed per line so an external reader sees it *while the run is in
+  flight*;
+* :func:`read_snapshots` -- tolerant reader (a truncated final line,
+  the normal state of a live file, is skipped, not an error);
+* :func:`merge_snapshots` -- time-ordered concatenation; worker
+  sessions ship their snapshots back over the existing manifest-merge
+  channel and the parent folds them into one stream;
+* ``sweep_status.json`` -- the runner's atomically rewritten progress
+  document (points done/failed/retried, store hits, events/s, RSS,
+  per-worker lag);
+* :func:`run_top` -- ``python -m repro top DIR [--live]``, the CLI
+  view that tails a running sweep.
+
+Nothing here touches simulation state: a crashed viewer, a missing
+stream or a half-written line never affects results.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.telemetry.memory import rss_bytes
+
+#: File names inside a telemetry output directory.
+STREAM_FILENAME = "metrics_stream.jsonl"
+STATUS_FILENAME = "sweep_status.json"
+
+#: Schema tag carried by every snapshot line.
+SNAPSHOT_SCHEMA = "repro-snapshot/1"
+
+
+# ----------------------------------------------------------------------
+# Snapshots
+# ----------------------------------------------------------------------
+def make_snapshot(
+    registry,
+    label: str = "run",
+    seq: int = 0,
+    t_ms: Optional[float] = None,
+    **extra: Any,
+) -> Dict[str, Any]:
+    """One self-contained metric snapshot (JSON-safe).
+
+    ``wall`` is absolute epoch time -- the merge key across processes;
+    ``t_ms`` is simulated time when the caller has one.  ``extra``
+    fields (e.g. ``kind="sweep"``, the sweep progress block) ride
+    along untouched.
+    """
+    snap: Dict[str, Any] = {
+        "schema": SNAPSHOT_SCHEMA,
+        "wall": time.time(),
+        "t_ms": t_ms,
+        "seq": seq,
+        "label": label,
+        "pid": os.getpid(),
+        "rss_bytes": rss_bytes(),
+    }
+    if registry is not None:
+        summary = registry.summary()
+        snap["counters"] = summary["counters"]
+        snap["gauges"] = summary["gauges"]
+    snap.update(extra)
+    return snap
+
+
+def snapshot_sort_key(snap: Dict[str, Any]):
+    """Stable time ordering across processes: wall, then pid, then seq."""
+    return (
+        float(snap.get("wall", 0.0)),
+        int(snap.get("pid", 0)),
+        int(snap.get("seq", 0)),
+    )
+
+
+def merge_snapshots(*streams: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Concatenate snapshot streams in time order (see sort key)."""
+    merged: List[Dict[str, Any]] = []
+    for stream in streams:
+        merged.extend(stream)
+    merged.sort(key=snapshot_sort_key)
+    return merged
+
+
+class SnapshotStreamer:
+    """Append-only JSONL writer, flushed per line.
+
+    The file is opened lazily (a session that never streams creates no
+    file) and every ``emit`` ends with ``flush`` so a concurrent
+    ``repro top`` reader sees each snapshot as soon as it exists.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+        self._fh = None
+        self.emitted = 0
+
+    def emit(self, snap: Dict[str, Any]) -> None:
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(self.path, "a", encoding="utf-8")
+        self._fh.write(json.dumps(snap, sort_keys=True) + "\n")
+        self._fh.flush()
+        self.emitted += 1
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+def read_snapshots(path) -> List[Dict[str, Any]]:
+    """Parse a snapshot stream; malformed/partial lines are skipped.
+
+    A live stream's last line is routinely half-written -- that is the
+    reader's problem, and this reader treats it as 'not there yet'.
+    """
+    path = Path(path)
+    if not path.exists():
+        return []
+    out: List[Dict[str, Any]] = []
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError:
+        return []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            doc = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(doc, dict):
+            out.append(doc)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Sweep status (atomically rewritten progress document)
+# ----------------------------------------------------------------------
+def write_status(path, status: Dict[str, Any]) -> None:
+    """Atomic rewrite (tmp + replace): a reader never sees a torn file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    doc = dict(status)
+    doc.setdefault("wall", time.time())
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(
+        json.dumps(doc, indent=1, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    os.replace(tmp, path)
+
+
+def read_status(path) -> Optional[Dict[str, Any]]:
+    try:
+        return json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return None
+
+
+# ----------------------------------------------------------------------
+# The ``top`` view
+# ----------------------------------------------------------------------
+def _fmt_bytes(n: Optional[float]) -> str:
+    if n is None:
+        return "?"
+    n = float(n)
+    for unit in ("B", "KB", "MB", "GB"):
+        if n < 1024.0 or unit == "GB":
+            return f"{n:.1f} {unit}" if unit != "B" else f"{n:.0f} B"
+        n /= 1024.0
+    return f"{n:.1f} GB"  # pragma: no cover - unreachable
+
+
+#: Metric names the panel surfaces from the latest snapshot (anything
+#: else is still in the stream; this is a dashboard, not a dump).
+PANEL_METRICS = (
+    ("counters", "events.published"),
+    ("counters", "events.delivered"),
+    ("counters", "net.dropped"),
+    ("counters", "transport.retransmissions"),
+    ("counters", "store.hits"),
+    ("gauges", "queue.depth"),
+    ("gauges", "queue.depth.peak"),
+    ("gauges", "sim.live_events"),
+    ("gauges", "mem.bytes_per_node"),
+)
+
+
+def render_top(directory, now: Optional[float] = None) -> str:
+    """One render of the observatory panel for a telemetry directory."""
+    directory = Path(directory)
+    now = time.time() if now is None else now
+    status = read_status(directory / STATUS_FILENAME)
+    snaps = read_snapshots(directory / STREAM_FILENAME)
+    lines: List[str] = [f"repro top -- {directory}"]
+    if status is None and not snaps:
+        lines.append(
+            "  no live artifacts here yet (run a sweep with "
+            "--telemetry-out DIR; see docs/OBSERVABILITY.md)"
+        )
+        return "\n".join(lines)
+
+    if status is not None:
+        age = now - float(status.get("wall", now))
+        total = int(status.get("points_total", 0))
+        done = int(status.get("done", 0))
+        state = "finished" if status.get("finished") else "running"
+        lines.append(
+            f"sweep {status.get('label', '?')} [{state}, updated "
+            f"{age:.1f}s ago]  pid {status.get('pid', '?')}  "
+            f"jobs {status.get('jobs', '?')}"
+        )
+        width = 30
+        frac = done / total if total else 0.0
+        bar = "#" * int(round(frac * width))
+        lines.append(
+            f"  [{bar:<{width}}] {done}/{total} points  "
+            f"(run {status.get('executed', 0)}, store {status.get('store_hits', 0)}, "
+            f"memo {status.get('memo_hits', 0)}, failed {status.get('failed', 0)}, "
+            f"retried {status.get('retried', 0)})"
+        )
+        lines.append(
+            f"  events/s {status.get('events_per_sec', 0.0):,.1f}  "
+            f"elapsed {status.get('elapsed_seconds', 0.0):.1f}s  "
+            f"rss {_fmt_bytes(status.get('rss_bytes'))}"
+        )
+        workers = status.get("workers", {})
+        for wname in sorted(workers):
+            w = workers[wname]
+            last = w.get("last_done_wall")
+            lag = f"{now - float(last):.1f}s" if last else "?"
+            lines.append(
+                f"  {wname}: {w.get('points', 0)} points, "
+                f"{w.get('wall_seconds', 0.0):.1f}s compute, lag {lag}"
+            )
+
+    if snaps:
+        snaps = merge_snapshots(snaps)
+        latest = snaps[-1]
+        t_ms = latest.get("t_ms")
+        sim = f"sim {t_ms:,.0f} ms, " if isinstance(t_ms, (int, float)) else ""
+        lines.append(
+            f"stream: {len(snaps)} snapshots, latest from "
+            f"{latest.get('label', '?')} ({sim}pid {latest.get('pid', '?')}, "
+            f"rss {_fmt_bytes(latest.get('rss_bytes'))})"
+        )
+        shown: List[str] = []
+        for group, name in PANEL_METRICS:
+            value = latest.get(group, {}).get(name)
+            if value is None:
+                continue
+            if name == "mem.bytes_per_node":
+                shown.append(f"{name}={_fmt_bytes(value)}")
+            else:
+                shown.append(f"{name}={value:,.0f}")
+        if shown:
+            lines.append("  " + "  ".join(shown))
+    return "\n".join(lines)
+
+
+def run_top(
+    directory,
+    live: bool = False,
+    interval: float = 2.0,
+    max_refreshes: Optional[int] = None,
+    stream=None,
+) -> int:
+    """``python -m repro top DIR`` entry point.
+
+    One render by default; ``live`` re-renders every ``interval``
+    seconds until the status file reports ``finished`` (or forever for
+    a directory with no status -- interrupt with Ctrl-C).  Returns 2
+    when the directory has no live artifacts at all and ``live`` is
+    off, so scripts can distinguish 'nothing to watch' from 'watched'.
+    """
+    directory = Path(directory)
+    stream = stream if stream is not None else sys.stdout
+    refreshes = 0
+    while True:
+        text = render_top(directory)
+        print(text, file=stream, flush=True)
+        refreshes += 1
+        if not live:
+            return 2 if "no live artifacts" in text else 0
+        status = read_status(directory / STATUS_FILENAME)
+        if status is not None and status.get("finished"):
+            return 0
+        if max_refreshes is not None and refreshes >= max_refreshes:
+            return 0
+        try:
+            time.sleep(interval)
+        except KeyboardInterrupt:  # pragma: no cover - interactive
+            return 0
+        print("", file=stream)

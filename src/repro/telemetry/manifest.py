@@ -38,6 +38,8 @@ REQUIRED_METRICS = (
     "faults.shed",
     "breaker.open",
     "queue.depth",
+    "queue.depth.peak",
+    "mem.bytes_per_node",
     "durable.appends",
     "durable.acked",
     "durable.redelivered",
@@ -75,13 +77,20 @@ def git_revision(cwd: Optional[str] = None) -> Optional[str]:
     return rev if out.returncode == 0 and rev else None
 
 
-def versions() -> Dict[str, str]:
+def versions() -> Dict[str, Any]:
+    import os
+
     import numpy
 
+    # machine/cpu_count/python_version make points from different
+    # environments comparable (or visibly incomparable) -- the perf
+    # trajectory's --compare gate keys on them.
     return {
         "python": platform.python_version(),
         "numpy": numpy.__version__,
         "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
     }
 
 
@@ -109,14 +118,19 @@ def merge_manifests(manifests: List[Dict[str, Any]]) -> Dict[str, Any]:
     * histograms -- total ``n`` plus max-of-max (exact percentiles are
       not recoverable from summaries; the per-worker manifests keep
       them);
+    * ``snapshots`` -- streamed metric snapshots, concatenated in time
+      order (see ``repro.telemetry.export``);
     * ``wall_seconds`` -- summed (total compute), with the per-worker
       values preserved under ``worker_wall_seconds``.
     """
+    from repro.telemetry.export import merge_snapshots
+
     merged: Dict[str, Any] = {
         "runs": [],
         "results": {},
         "extra": {},
         "metrics": {"counters": {}, "gauges": {}, "histograms": {}},
+        "snapshots": [],
         "wall_seconds": 0.0,
         "worker_wall_seconds": [],
         "workers": len(manifests),
@@ -140,6 +154,9 @@ def merge_manifests(manifests: List[Dict[str, Any]]) -> Dict[str, Any]:
             agg = histograms.setdefault(name, {"n": 0, "max": 0.0})
             agg["n"] += int(summ.get("n", 0))
             agg["max"] = max(agg["max"], float(summ.get("max", 0.0)))
+        merged["snapshots"] = merge_snapshots(
+            merged["snapshots"], m.get("snapshots", [])
+        )
     return merged
 
 

@@ -59,6 +59,12 @@ class TelemetrySession:
         self.results: Dict[str, Dict[str, Any]] = {}
         #: free-form provenance (workload spec, scale, ...)
         self.extra: Dict[str, Any] = {}
+        #: streamed metric snapshots, in time order (repro.telemetry.export);
+        #: worker sessions ship theirs back via the manifest and
+        #: :meth:`merge_child_manifest` folds them in here
+        self.snapshots: List[Dict[str, Any]] = []
+        self._snap_seq = 0
+        self._streamer = None
         #: invoking command line, stamped by the CLI before finalize
         self.command: Optional[str] = None
         self._t0 = time.time()
@@ -76,6 +82,12 @@ class TelemetrySession:
     @property
     def manifest_path(self) -> Path:
         return self.out_dir / "manifest.json"
+
+    @property
+    def stream_path(self) -> Path:
+        from repro.telemetry.export import STREAM_FILENAME
+
+        return self.out_dir / STREAM_FILENAME
 
     # -- population --------------------------------------------------------
     def attach_system(self, system) -> None:
@@ -100,15 +112,41 @@ class TelemetrySession:
                 value = asdict(value)
             self.extra[key] = value
 
+    def stream_snapshot(self, t_ms: Optional[float] = None, **extra: Any):
+        """Emit one live metric snapshot (see ``repro.telemetry.export``).
+
+        The snapshot is appended to :attr:`snapshots` (and therefore to
+        the manifest), and written+flushed to ``metrics_stream.jsonl``
+        so an external ``repro top`` sees it while the run is in
+        flight.  Returns the snapshot dict.
+        """
+        from repro.telemetry.export import SnapshotStreamer, make_snapshot
+
+        snap = make_snapshot(
+            self.registry,
+            label=self.label,
+            seq=self._snap_seq,
+            t_ms=t_ms,
+            **extra,
+        )
+        self._snap_seq += 1
+        self.snapshots.append(snap)
+        if self._streamer is None:
+            self._streamer = SnapshotStreamer(self.stream_path)
+        self._streamer.emit(snap)
+        return snap
+
     def merge_child_manifest(self, manifest: Dict[str, Any]) -> None:
         """Absorb one worker session's manifest (parallel sweeps).
 
         The child's systems join ``runs``, its result summaries join
         ``results`` (child keys win only where the parent has none),
-        its counters are *summed* into this session's registry and its
-        gauges folded in with max -- so a sweep fanned out over a
-        process pool still produces one parent manifest carrying the
-        aggregate ``events.published``, drop counters, etc.
+        its counters are *summed* into this session's registry, its
+        gauges folded in with max and its snapshot stream concatenated
+        in time order -- so a sweep fanned out over a process pool
+        still produces one parent manifest carrying the aggregate
+        ``events.published``, drop counters, worst ``mem.*`` footprint
+        and the full snapshot timeline.
         """
         self.runs.extend(manifest.get("runs", []))
         for name, summary in manifest.get("results", {}).items():
@@ -122,9 +160,23 @@ class TelemetrySession:
         for name, value in metrics.get("gauges", {}).items():
             gauge = self.registry.gauge(name)
             gauge.set(max(gauge.value, float(value)))
+        child_snaps = manifest.get("snapshots", [])
+        if child_snaps:
+            from repro.telemetry.export import (
+                SnapshotStreamer,
+                merge_snapshots,
+            )
+
+            if self._streamer is None:
+                self._streamer = SnapshotStreamer(self.stream_path)
+            for snap in child_snaps:
+                self._streamer.emit(snap)
+            self.snapshots = merge_snapshots(self.snapshots, child_snaps)
 
     # -- output ------------------------------------------------------------
     def build_manifest(self, command: Optional[str] = None) -> Dict[str, Any]:
+        import os
+
         command = command if command is not None else self.command
         return {
             "created_utc": time.strftime(
@@ -134,6 +186,8 @@ class TelemetrySession:
             "command": command,
             "git_rev": git_revision(),
             "versions": versions(),
+            "pid": os.getpid(),
+            "snapshots": list(self.snapshots),
             "wall_seconds": time.time() - self._t0,
             "runs": self.runs,
             "results": self.results,
@@ -149,6 +203,9 @@ class TelemetrySession:
     def finalize(self, command: Optional[str] = None) -> Dict[str, Any]:
         """Write trace.jsonl, metrics.json and manifest.json (idempotent)."""
         self._finalized = True
+        if self._streamer is not None:
+            self._streamer.close()
+            self._streamer = None
         self.tracer.write_jsonl(self.trace_path)
         import json
 

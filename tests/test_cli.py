@@ -33,6 +33,23 @@ class TestDispatcherInProcess:
         main(["list", "--scale", "quick"])
         assert os.environ.get("REPRO_SCALE") == "quick"
 
+    def test_top_on_an_empty_directory_exits_2(self, capsys, tmp_path):
+        rc = main(["top", str(tmp_path)])
+        assert rc == 2
+        assert "no live artifacts" in capsys.readouterr().out
+
+    def test_top_renders_a_status_panel(self, capsys, tmp_path):
+        from repro.telemetry.export import STATUS_FILENAME, write_status
+
+        write_status(
+            tmp_path / STATUS_FILENAME,
+            {"label": "fig5", "points_total": 4, "done": 4,
+             "finished": True, "workers": {}},
+        )
+        assert main(["top", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "4/4 points" in out and "finished" in out
+
     def test_single_experiment_runs_and_reports(self, capsys, monkeypatch):
         monkeypatch.setenv("REPRO_SCALE", "quick")
         monkeypatch.setenv("REPRO_NODES", "60")

@@ -113,6 +113,28 @@ class TestServiceModel:
         assert len(nodes[1]._ingress_hi) == 1
         assert [m.kind for m in nodes[1]._ingress_lo] == ["bulk_a"]
 
+    def test_queue_peak_gauge_tracks_the_deepest_backlog(self):
+        sim, net, nodes = make_net()
+        nodes[1].service_rate = 0.01  # effectively frozen
+        nodes[2].service_rate = 0.01
+        for _ in range(5):
+            net.send(msg(0, 1))
+        net.send(msg(0, 2))
+        sim.run(until=60.0)
+        # The run-wide high-water mark is the *deepest single node*.
+        assert net.stats.queue_peak == 5
+        assert net.stats.registry.value("queue.depth.peak") == 5.0
+        from repro.analysis.trace import transport_summary
+
+        assert transport_summary(net.stats)["queue_peak"] == 5
+
+    def test_queue_peak_is_zero_under_infinite_capacity(self):
+        sim, net, nodes = make_net()
+        for _ in range(10):
+            net.send(msg(0, 1))
+        sim.run()
+        assert net.stats.queue_peak == 0
+
     def test_control_band_is_served_first(self):
         sim = Simulator()
         net = Network(sim, ConstantTopology(2, rtt=100.0))
