@@ -56,6 +56,10 @@ EXPERIMENTS = {
         "repro.experiments.guarantees",
         "G1: delivery guarantees (durable/fifo/causal) under faults",
     ),
+    "chaos": (
+        "repro.experiments.chaos",
+        "N1: randomized nemesis campaign (--rounds/--seed/--mode/--replay)",
+    ),
 }
 
 #: everything `all` runs (table1 has no driver; fig2-4 share cached runs)
@@ -73,10 +77,11 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "bench", "list", "top", "trace"],
+        choices=sorted(EXPERIMENTS)
+        + ["all", "bench", "list", "top", "trace"],
         help="experiment id (see `list`), `bench` for the tracked perf "
-        "harness, `top` to watch a running sweep, or `trace` to "
-        "inspect a trace",
+        "harness, `chaos` for a randomized fault campaign, `top` to "
+        "watch a running sweep, or `trace` to inspect a trace",
     )
     parser.add_argument(
         "dir",
@@ -151,6 +156,35 @@ def main(argv=None) -> int:
         "(default: BENCH_trajectory.json)",
     )
     parser.add_argument(
+        "--rounds",
+        type=int,
+        default=25,
+        metavar="N",
+        help="(chaos) nemesis rounds to run (default: 25)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=42,
+        metavar="S",
+        help="(chaos) campaign seed; every round derives from it "
+        "deterministically (default: 42)",
+    )
+    parser.add_argument(
+        "--mode",
+        choices=["durable", "best-effort"],
+        default="durable",
+        help="(chaos) durable+fifo rounds must show zero violations; "
+        "best-effort rounds measure the loss the nemesis inflicts",
+    )
+    parser.add_argument(
+        "--replay",
+        metavar="FILE",
+        default=None,
+        help="(chaos) replay a failing-schedule JSON twice and verify "
+        "the round digest reproduces bit-identically",
+    )
+    parser.add_argument(
         "--live",
         action="store_true",
         help="(top) keep refreshing until the sweep status reports "
@@ -186,6 +220,33 @@ def main(argv=None) -> int:
         os.environ["REPRO_JOBS"] = str(args.jobs)
     if args.results_dir is not None:
         os.environ["REPRO_RESULTS_DIR"] = args.results_dir
+
+    if args.experiment == "chaos":
+        from repro.experiments.chaos import main as chaos_main
+
+        if args.rounds < 1:
+            parser.error(f"--rounds must be >= 1, got {args.rounds}")
+        if args.telemetry_out and not args.replay:
+            from repro.telemetry import telemetry_session
+
+            with telemetry_session(
+                args.telemetry_out, label="chaos"
+            ) as session:
+                session.command = (
+                    f"python -m repro chaos --rounds {args.rounds} "
+                    f"--seed {args.seed} --mode {args.mode}"
+                )
+                rc = chaos_main(
+                    rounds=args.rounds, seed=args.seed, mode=args.mode
+                )
+            print(f"[telemetry written to {args.telemetry_out}]")
+            return rc
+        return chaos_main(
+            rounds=args.rounds,
+            seed=args.seed,
+            mode=args.mode,
+            replay=args.replay,
+        )
 
     if args.experiment == "bench":
         from repro.bench import DEFAULT_TRAJECTORY_PATH, run_bench

@@ -102,6 +102,8 @@ def transport_summary(stats) -> Dict[str, int]:
         "breaker_opens": stats.breaker_opens,
         "dropped": stats.dropped,
         "dropped_by_cause": stats.dropped_by_cause,
+        "duplicated": stats.duplicated,
+        "reordered": stats.reordered,
         "queue_peak": stats.queue_peak,
         "durable": stats.durable_counts,
         "msgs_by_kind": dict(sorted(stats.msgs_by_kind.items())),

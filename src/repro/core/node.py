@@ -210,6 +210,8 @@ class PubSubNodeMixin:
         self.register_handler("ps_register", self._on_ps_register)
         self.register_handler("ps_replica", self._on_ps_replica)
         self.register_handler("ps_handoff", self._on_ps_handoff)
+        self.register_handler("ps_resync", self._on_ps_resync)
+        self.register_handler("ps_resync_state", self._on_ps_resync_state)
         self.register_handler("ps_ae_digest", self._on_ae_digest)
         self.register_handler("ps_ae_state", self._on_ae_state)
         self.register_handler("ps_ae_fill", self._on_ae_fill)
@@ -559,9 +561,13 @@ class PubSubNodeMixin:
         work: the arc handoff to a re-joining predecessor only ships
         *live* repositories.
         """
+        self._promote_standby_keys(self.is_responsible)
+
+    def _promote_standby_keys(self, want) -> None:
+        """Promote standby replicas whose rendezvous key satisfies ``want``."""
         direct = self.system.config.direct_rendezvous_levels
         for key in list(self.standby_rendezvous):
-            if not self.is_responsible(key):
+            if not want(key):
                 continue
             for repo_key in self.standby_rendezvous.pop(key):
                 repo = self.standby_repos.pop(repo_key, None)
@@ -819,19 +825,24 @@ class PubSubNodeMixin:
         if new_id is None or old_id == new_id:
             return
         if old_id is None:
-            moved_keys = [
-                k
-                for k in self.rendezvous_index
-                if not id_in_interval(k, new_id, self.node_id, incl_right=True)
-            ]
+            moved = lambda k: not id_in_interval(  # noqa: E731
+                k, new_id, self.node_id, incl_right=True
+            )
         else:
             if not id_in_interval(new_id, old_id, self.node_id):
                 return  # arc grew (failure takeover), nothing to ship
-            moved_keys = [
-                k
-                for k in self.rendezvous_index
-                if id_in_interval(k, old_id, new_id, incl_right=True)
-            ]
+            moved = lambda k: id_in_interval(  # noqa: E731
+                k, old_id, new_id, incl_right=True
+            )
+        # A standby whose key moves to the new predecessor would
+        # otherwise be stuck for good: promotion requires *us* to answer
+        # for the key, and the handoff below ships live repos only.  A
+        # crash shorter than one anti-entropy interval (a flap) hits
+        # exactly that window -- the takeover never ran a promotion
+        # tick, the rejoiner returns to an empty arc, and every copy in
+        # the system stays standby.  Promote such keys now so they ship.
+        self._promote_standby_keys(moved)
+        moved_keys = [k for k in self.rendezvous_index if moved(k)]
         if not moved_keys:
             return
         new_addr = self.predecessor[1]
@@ -979,6 +990,132 @@ class PubSubNodeMixin:
         dur_state = msg.payload.get("durable")
         if dur_state is not None and self.durable is not None:
             self.durable.absorb_site_state(dur_state)
+
+    # ------------------------------------------------------------------
+    # Restart resync (self-healing extension)
+    # ------------------------------------------------------------------
+    def request_resync(self) -> None:
+        """Ask the last-known successors to return our arc after a restart.
+
+        A crash shorter than every failure-detection timescale (a flap)
+        is invisible to the membership layer: no predecessor ever
+        changes, so neither the arc handoff nor anti-entropy promotion
+        fires, and the restarted node answers for its keys with empty
+        repositories while its old successors sit on standby copies
+        forever.  The restarting node is the one peer that *knows* it
+        lost state, so it solicits those standby holders directly.
+        """
+        k = self.system.config.replication_factor
+        for _succ_id, succ_addr in getattr(self, "successors", [])[: k - 1]:
+            self.send(
+                Message(
+                    src=self.addr,
+                    dst=succ_addr,
+                    kind="ps_resync",
+                    payload={"origin": self.addr, "origin_id": self.node_id},
+                    size_bytes=CONTROL_BYTES,
+                )
+            )
+
+    def _on_ps_resync(self, msg: Message) -> None:
+        """Ship every standby copy (and marker mapping) to a restarter.
+
+        Over-shipping is deliberate: the receiver keeps everything as
+        standby and lets promotion sort live from spare, so the sender
+        needs no view of the restarter's exact arc boundaries.
+        """
+        p = msg.payload
+        groups: List[dict] = []
+        shipped: set = set()
+        payload_bytes = 0
+        for repo_key, repo in self.standby_repos.items():
+            entity = self.system.entity(repo.entity_key)
+            entries = []
+            for sid in list(repo.store.subids()):
+                lo, hi = repo.store.get_box(sid)
+                entries.append(
+                    (
+                        (sid.nid, sid.iid),
+                        lo.tolist(),
+                        hi.tolist(),
+                        repo.kinds.get(sid, "sub"),
+                    )
+                )
+            groups.append({"repo": list(repo_key), "entries": entries})
+            shipped.add(repo_key)
+            payload_bytes += len(entries) * subscription_wire_bytes(
+                entity.scheme.dimensions
+            )
+        markers = [
+            (nid, iid, list(repo_key))
+            for (nid, iid), repo_key in self.standby_markers.items()
+            if nid == p["origin_id"] or repo_key in shipped
+        ]
+        if not groups and not markers:
+            return
+        self.send(
+            Message(
+                src=self.addr,
+                dst=p["origin"],
+                kind="ps_resync_state",
+                payload={"groups": groups, "markers": markers},
+                size_bytes=CONTROL_BYTES
+                + payload_bytes
+                + SUBID_BYTES * len(markers),
+            )
+        )
+
+    def _on_ps_resync_state(self, msg: Message) -> None:
+        # Repos serving our own surrogate subscriptions (marker-served
+        # internal zones) are installed verbatim live, exactly like the
+        # handoff snapshot path -- cascading again would mint duplicate
+        # markers.  Everything else lands as standby; promotion turns
+        # the keys we answer for live once the ring view settles.
+        own = {
+            tuple(repo_key)
+            for nid, _iid, repo_key in msg.payload.get("markers", ())
+            if nid == self.node_id
+        }
+        own.update(self.marker_origin.values())
+        for group in msg.payload["groups"]:
+            entity_key, code, level = group["repo"]
+            repo_key = (entity_key, code, level)
+            if repo_key in own:
+                entity = self.system.entity(entity_key)
+                zone = ContentZone(code, level, entity.geometry)
+                repo = self._get_repo(entity, zone)
+                for (nid, iid), lows, highs, kind in group["entries"]:
+                    lo = np.asarray(lows, dtype=np.float64)
+                    hi = np.asarray(highs, dtype=np.float64)
+                    sid = SubID(nid, iid)
+                    repo.store.put(sid, lo, hi)
+                    repo.kinds[sid] = kind
+                    repo.sf, _ = merge_box(repo.sf, (lo, hi))
+            else:
+                for (nid, iid), lows, highs, kind in group["entries"]:
+                    self._store_replica(
+                        entity_key,
+                        code,
+                        level,
+                        SubID(nid, iid),
+                        np.asarray(lows, dtype=np.float64),
+                        np.asarray(highs, dtype=np.float64),
+                        kind,
+                    )
+        for nid, iid, repo_key in msg.payload.get("markers", ()):
+            repo_key = tuple(repo_key)
+            if nid == self.node_id:
+                self.marker_origin.setdefault(iid, repo_key)
+            else:
+                self.standby_markers[(nid, iid)] = repo_key
+        self.promote_takeovers()
+        # Our predecessor pointer may still be settling; retry promotion
+        # once stabilization has had a couple of rounds (anti-entropy,
+        # where enabled, keeps retrying every interval anyway).
+        for mult in (2.0, 4.0):
+            self.sim.schedule(
+                mult * self.stabilize_interval_ms, self.promote_takeovers
+            )
 
     def _on_ps_unregister(self, msg: Message) -> None:
         p = msg.payload

@@ -603,21 +603,23 @@ class HyperSubSystem:
             node._dur_vacuous_after = (
                 self.sim.now + self.config.durable_rejoin_grace_ms
             )
-            # The durable tier also persists a neighbor hint (standard
-            # Chord crash-recovery practice): the last-known successor
-            # list, minus ourselves.  Stale entries are harmless --
-            # suspicion timeouts evict the dead -- but without the hint
-            # a same-id rejoin can capture its own join lookup and come
-            # back with no usable successor at all.
-            if hasattr(old, "successors"):
-                node.successors = [
-                    s for s in old.successors if s[0] != node.node_id
-                ]
-                if node.successors and hasattr(node, "start_maintenance"):
-                    # With a usable hint, stabilization can start healing
-                    # immediately -- the join lookup refines the picture
-                    # but its completion must not gate ring recovery.
-                    node.start_maintenance()
+        # Every rejoin gets a neighbor hint (standard Chord crash-
+        # recovery practice): the last-known successor list, minus
+        # ourselves.  Stale entries are harmless -- suspicion timeouts
+        # evict the dead -- but without the hint a same-id rejoin can
+        # capture its own join lookup and come back with no usable
+        # successor at all, and nothing in the ring ever routes back to
+        # a node that took over its own arc (chaos nemesis, flap
+        # faults).
+        if hasattr(old, "successors"):
+            node.successors = [
+                s for s in old.successors if s[0] != node.node_id
+            ]
+            if node.successors and hasattr(node, "start_maintenance"):
+                # With a usable hint, stabilization can start healing
+                # immediately -- the join lookup refines the picture
+                # but its completion must not gate ring recovery.
+                node.start_maintenance()
         if hasattr(old, "stabilize_interval_ms"):
             node.stabilize_interval_ms = old.stabilize_interval_ms
             node.rpc_timeout_ms = old.rpc_timeout_ms
@@ -627,6 +629,13 @@ class HyperSubSystem:
                 a for a, n in enumerate(self.nodes) if n.alive() and a != addr
             )
         node.join(self.nodes[bootstrap_addr])
+        if hasattr(node, "request_resync"):
+            # A restart wipes the volatile repositories, and the crash
+            # may have been too brief for any failure detector to fire
+            # (flap faults): nobody promoted a standby, nobody will hand
+            # anything back.  Ask the last-known successors -- the
+            # standby holders -- to return what they hold.
+            node.request_resync()
         if self.config.anti_entropy:
             node.start_anti_entropy()
         if self._durable_redelivery:

@@ -405,12 +405,19 @@ class ChordNode(OverlayNode):
                 s for s in self.successors
                 if s[0] not in (self.node_id, ent[0])
             ]
-            if ent[1] == self.addr and keep:
+            if ent[1] == self.addr:
                 # A same-id rejoin can capture its own walk: the ring
                 # still routes our identifier to our (reused) address,
                 # so the lookup teaches us nothing.  Any seeded
-                # neighbor hint beats "ourselves".
-                self.successors = keep[: self.succ_list_len]
+                # neighbor hint beats "ourselves"; with no hint either,
+                # fall back to the bootstrap -- a live non-self entry
+                # stabilization can walk to the true successor, where
+                # installing ourselves would wedge the node for good.
+                self.successors = (
+                    keep[: self.succ_list_len]
+                    if keep
+                    else [(bootstrap.node_id, bootstrap.addr)]
+                )
             else:
                 self.successors = ([ent] + keep)[: self.succ_list_len]
             self.start_maintenance()
@@ -570,7 +577,19 @@ class ChordNode(OverlayNode):
                 return  # probably a lost packet; try again next round
             # Successor presumed dead: fail over to the next list entry.
             self._suspicion.pop(dead[0], None)
-            self.successors = [s for s in self.successors if s != dead]
+            kept = [s for s in self.successors if s != dead]
+            if not kept:
+                # Dropping the LAST successor is permanent
+                # self-isolation (no stabilize, no fix_fingers -- see
+                # evict_neighbor).  Under sustained loss a live node
+                # can time out on every entry one by one, so re-seed
+                # from any other peer we still know: stabilization
+                # walks from an arbitrary live entry back to the true
+                # successor.  With no alternative, keep the suspect --
+                # retrying a corpse beats isolating ourselves.
+                fallback = self._any_known_peer(exclude=dead[0])
+                kept = [fallback] if fallback is not None else [dead]
+            self.successors = kept
             self.fingers = {
                 i: f for i, f in self.fingers.items() if f != dead
             }
@@ -671,6 +690,30 @@ class ChordNode(OverlayNode):
                     self.fingers[i] = (result.home_id, result.home_addr)
 
             self.lookup(id_add(self.node_id, 1 << i), _fixed)
+
+    def _any_known_peer(
+        self, exclude: Optional[int] = None
+    ) -> Optional[Tuple[int, int]]:
+        """Clockwise-nearest known peer (fingers + predecessor).
+
+        Successor-list last-resort reseeding: any live entry lets
+        stabilization converge (it repeatedly adopts succ.predecessor,
+        walking back to the true successor), but the clockwise-nearest
+        candidate converges fastest.
+        """
+        best: Optional[Tuple[int, int]] = None
+        best_d = None
+        cands = list(self.fingers.values())
+        if self.predecessor is not None:
+            cands.append(self.predecessor)
+        for cand in cands:
+            cand = tuple(cand)
+            if cand[0] == self.node_id or cand[0] == exclude:
+                continue
+            d = cw_distance(self.node_id, cand[0])
+            if best_d is None or d < best_d:
+                best, best_d = cand, d
+        return best
 
     def evict_neighbor(self, addr: int) -> None:
         """Drop every routing entry pointing at ``addr`` (presumed dead).

@@ -4,19 +4,35 @@ The paper defers fault tolerance to future work; this package supplies
 the scaffolding the robustness experiments need:
 
 * :class:`FaultSchedule` -- a deterministic, seedable timeline of
-  crash / rejoin / partition / loss / latency-spike actions driven by
-  the simulator clock;
+  crash / rejoin / partition / loss / latency-spike / gray-failure
+  actions driven by the simulator clock, with build-time validation
+  (:class:`FaultScheduleError`) and a round-trippable declarative spec;
+* :class:`ChaosNemesis` / :class:`ChaosBudget` -- seeded random
+  schedule generation within safety floors (chaos campaigns);
+* :func:`shrink_spec` / :class:`ShrinkResult` -- ddmin + parameter
+  shrinking of failing schedules to minimal replayable form;
 * :class:`InvariantChecker` / :class:`InvariantReport` -- global-
   knowledge audits of ring consistency, zone-responsibility coverage
   and replica-count floors, runnable mid-simulation.
 """
 
+from repro.faults.chaos import ChaosBudget, ChaosNemesis
 from repro.faults.invariants import InvariantChecker, InvariantReport
-from repro.faults.schedule import FaultAction, FaultSchedule
+from repro.faults.schedule import (
+    FaultAction,
+    FaultSchedule,
+    FaultScheduleError,
+)
+from repro.faults.shrink import ShrinkResult, shrink_spec
 
 __all__ = [
+    "ChaosBudget",
+    "ChaosNemesis",
     "FaultAction",
     "FaultSchedule",
+    "FaultScheduleError",
     "InvariantChecker",
     "InvariantReport",
+    "ShrinkResult",
+    "shrink_spec",
 ]

@@ -7,7 +7,8 @@ impossible to reuse, compose or replay.  :class:`FaultSchedule` fixes
 that: a schedule is an ordered list of primitive actions pinned to
 simulated time, built either through the fluent builder methods, from
 the declarative spec DSL (:meth:`FaultSchedule.from_spec`), or sampled
-deterministically from a seed (:meth:`FaultSchedule.random_churn`).
+deterministically from a seed (:meth:`FaultSchedule.random_churn`, or
+the full nemesis in :mod:`repro.faults.chaos`).
 ``install(system)`` arms every action on the system's simulator clock;
 nothing happens until the clock reaches it.
 
@@ -23,14 +24,39 @@ Primitives:
   packets per ms (overload injection; needs the finite service model to
   have any observable effect -- see docs/FAULTS.md).
 
+Gray-failure primitives (chaos extension; the node or link is *not*
+dead, it is degraded -- the failure modes health checks miss):
+
+* ``slow(t0, t1, addrs, factor)`` -- nodes stay alive but serve their
+  ingress queues at ``factor`` of their nominal service rate (needs the
+  finite service model, like ``storm``);
+* ``asym_partition(t0, t1, src, dst)`` -- one-way link cuts: packets
+  from ``src`` addresses to ``dst`` addresses are dropped while the
+  reverse direction still flows;
+* ``duplicate(t0, t1, rate)`` -- each delivered packet is delivered a
+  second time with probability ``rate``;
+* ``reorder(t0, t1, window_ms)`` -- each packet picks up an adversarial
+  extra delay uniform in ``[0, window_ms)``, reordering streams;
+* ``flap(t0, t1, addr, period)`` -- crash/rejoin oscillation: the node
+  crashes at ``t0`` and toggles every ``period`` ms, guaranteed alive
+  again by ``t1``.
+
 Every action is applied through one dispatch point, so a schedule can
-be rendered (``describe()``) and replayed bit-identically.
+be rendered (``describe()``), serialized back to the declarative DSL
+(``to_spec()``) and replayed bit-identically.  Build-time validation
+(:class:`FaultScheduleError`) rejects schedules that would act
+silently-wrong at runtime: rejoining a node that was never crashed,
+crashing a corpse, flapping through another fault window of the same
+node, or overlapping partition/loss/slow/duplicate/reorder windows
+without an intervening heal (the network applies one at a time, so the
+first heal would clobber the second window).
 """
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -48,7 +74,38 @@ _KINDS = (
     "latency",
     "clear_latency",
     "storm",
+    "slow",
+    "clear_slow",
+    "asym_partition",
+    "heal_asym_partition",
+    "duplicate",
+    "clear_duplicate",
+    "reorder",
+    "clear_reorder",
+    "flap",
 )
+
+#: Spec keys of the declarative DSL, one per *builder* (window actions
+#: pair an apply and a heal member of :data:`_KINDS`).
+SPEC_KEYS = (
+    "crash",
+    "rejoin",
+    "partition",
+    "loss",
+    "latency",
+    "storm",
+    "slow",
+    "asym_partition",
+    "duplicate",
+    "reorder",
+    "flap",
+)
+
+
+class FaultScheduleError(ValueError):
+    """A schedule that would act silently-wrong at runtime, rejected at
+    build time: bad parameters, impossible targets (rejoin of a node
+    that was never crashed), or overlapping single-active windows."""
 
 
 @dataclass(frozen=True)
@@ -57,37 +114,76 @@ class FaultAction:
 
     time_ms: float
     kind: str
-    #: node addresses (crash / rejoin)
+    #: node addresses (crash / rejoin / slow / flap; src side of asym)
     addrs: tuple = ()
     #: addr -> group map (partition)
     groups: Optional[tuple] = None
-    #: loss probability (loss)
+    #: loss / duplicate probability
     rate: float = 0.0
-    #: latency multiplier (latency) / flood rate in msgs/ms (storm)
+    #: latency multiplier (latency) / flood rate in msgs/ms (storm) /
+    #: service-rate fraction (slow) / reorder window ms (reorder) /
+    #: flap period ms (flap)
     factor: float = 1.0
-    #: rng seed for the loss process
+    #: rng seed for the loss/duplicate/reorder process; doubles as the
+    #: window token for asym_partition (concurrent cuts are legal)
     seed: int = 0
-    #: window end for self-terminating actions (storm)
+    #: window end for self-terminating actions (storm, flap)
     until_ms: Optional[float] = None
+    #: dst side of an asym_partition cut
+    dst_addrs: tuple = ()
 
     def __post_init__(self) -> None:
         """Validate at build time -- a bad rate must fail when the
         schedule is constructed, not hours into a run when it fires."""
         if self.kind not in _KINDS:
-            raise ValueError(f"unknown fault kind {self.kind!r}")
+            raise FaultScheduleError(f"unknown fault kind {self.kind!r}")
         if self.time_ms < 0:
-            raise ValueError("fault times must be non-negative")
+            raise FaultScheduleError("fault times must be non-negative")
         if self.kind == "loss" and not 0.0 <= self.rate < 1.0:
-            raise ValueError(f"loss rate must be in [0, 1), got {self.rate}")
+            raise FaultScheduleError(
+                f"loss rate must be in [0, 1), got {self.rate}"
+            )
         if self.kind == "latency" and self.factor <= 0:
-            raise ValueError("latency factor must be positive")
+            raise FaultScheduleError("latency factor must be positive")
         if self.kind == "storm":
             if self.factor <= 0:
-                raise ValueError("storm rate must be positive (msgs/ms)")
+                raise FaultScheduleError("storm rate must be positive (msgs/ms)")
             if len(self.addrs) != 1:
-                raise ValueError("storm targets exactly one address")
+                raise FaultScheduleError("storm targets exactly one address")
             if self.until_ms is None or self.until_ms <= self.time_ms:
-                raise ValueError("storm window must have positive length")
+                raise FaultScheduleError("storm window must have positive length")
+        if self.kind == "slow":
+            if not 0.0 < self.factor < 1.0:
+                raise FaultScheduleError(
+                    f"slow factor must be in (0, 1), got {self.factor}"
+                )
+            if not self.addrs:
+                raise FaultScheduleError("slow needs at least one address")
+        if self.kind == "asym_partition":
+            if not self.addrs or not self.dst_addrs:
+                raise FaultScheduleError(
+                    "asym_partition needs non-empty src and dst address sets"
+                )
+            if set(self.addrs) & set(self.dst_addrs):
+                raise FaultScheduleError(
+                    "asym_partition src and dst sets must be disjoint"
+                )
+        if self.kind == "duplicate" and not 0.0 < self.rate <= 1.0:
+            raise FaultScheduleError(
+                f"duplicate rate must be in (0, 1], got {self.rate}"
+            )
+        if self.kind == "reorder" and self.factor <= 0:
+            raise FaultScheduleError("reorder window must be positive (ms)")
+        if self.kind == "flap":
+            if len(self.addrs) != 1:
+                raise FaultScheduleError("flap targets exactly one address")
+            if self.factor <= 0:
+                raise FaultScheduleError("flap period must be positive (ms)")
+            if self.until_ms is None or self.until_ms < self.time_ms + self.factor:
+                raise FaultScheduleError(
+                    "flap window must fit at least one crash+rejoin cycle "
+                    "(until >= from + period)"
+                )
 
     def describe(self) -> str:
         if self.kind in ("crash", "rejoin"):
@@ -102,6 +198,27 @@ class FaultAction:
             return (
                 f"t={self.time_ms:.0f}ms storm addr={self.addrs[0]} "
                 f"rate={self.factor:g}/ms until={self.until_ms:.0f}ms"
+            )
+        if self.kind == "slow":
+            return (
+                f"t={self.time_ms:.0f}ms slow {list(self.addrs)} "
+                f"x{self.factor:g}"
+            )
+        if self.kind == "clear_slow":
+            return f"t={self.time_ms:.0f}ms clear_slow {list(self.addrs)}"
+        if self.kind == "asym_partition":
+            return (
+                f"t={self.time_ms:.0f}ms asym_partition "
+                f"{list(self.addrs)} -/-> {list(self.dst_addrs)}"
+            )
+        if self.kind == "duplicate":
+            return f"t={self.time_ms:.0f}ms duplicate rate={self.rate:.3f}"
+        if self.kind == "reorder":
+            return f"t={self.time_ms:.0f}ms reorder window={self.factor:g}ms"
+        if self.kind == "flap":
+            return (
+                f"t={self.time_ms:.0f}ms flap addr={self.addrs[0]} "
+                f"period={self.factor:g}ms until={self.until_ms:.0f}ms"
             )
         return f"t={self.time_ms:.0f}ms {self.kind}"
 
@@ -120,6 +237,57 @@ class FaultSchedule:
     def __init__(self) -> None:
         self.actions: List[FaultAction] = []
         self._installed = False
+        #: canonical declarative entries, one per builder call, so the
+        #: schedule round-trips through the spec DSL (``to_spec``).
+        self._spec: List[Dict] = []
+        #: single-active window bookkeeping: kind -> [(t0, t1|None)].
+        self._windows: Dict[str, List[Tuple[float, Optional[float]]]] = {}
+        #: per-addr life events for target validation:
+        #: addr -> [(time, "crash"|"rejoin")], plus flap windows
+        #: addr -> [(t0, t1)].
+        self._life: Dict[int, List[Tuple[float, str]]] = {}
+        self._flaps: Dict[int, List[Tuple[float, float]]] = {}
+
+    # ------------------------------------------------------------------
+    # Build-time validation helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _overlaps(
+        windows: Iterable[Tuple[float, Optional[float]]], t0: float, t1: Optional[float]
+    ) -> bool:
+        for w0, w1 in windows:
+            if (w1 is None or t0 < w1) and (t1 is None or w0 < t1):
+                return True
+        return False
+
+    def _check_window(self, kind: str, t0: float, t1: Optional[float]) -> None:
+        """Reject overlapping windows of a single-active fault kind: the
+        network applies one at a time, so the first heal would clobber
+        the second window and the schedule would lie about itself."""
+        existing = self._windows.setdefault(kind, [])
+        if self._overlaps(existing, t0, t1):
+            raise FaultScheduleError(
+                f"overlapping {kind} windows without an intervening heal: "
+                f"[{t0:g}, {'inf' if t1 is None else format(t1, 'g')}) vs "
+                f"existing {existing}"
+            )
+        existing.append((t0, t1))
+
+    def _alive_at(self, addr: int, t: float) -> bool:
+        """Scheduled life state of ``addr`` just before time ``t``
+        (events strictly earlier; ties are pathological and rejected)."""
+        state = True
+        for when, what in sorted(self._life.get(addr, ())):
+            if when >= t:
+                break
+            state = what == "rejoin"
+        return state
+
+    def _in_flap(self, addr: int, t0: float, t1: Optional[float]) -> bool:
+        return self._overlaps(self._flaps.get(addr, ()), t0, t1)
+
+    def _note_life(self, addr: int, t: float, what: str) -> None:
+        self._life.setdefault(addr, []).append((t, what))
 
     # ------------------------------------------------------------------
     # Builders
@@ -132,18 +300,56 @@ class FaultSchedule:
 
     def crash(self, at_ms: float, addrs: Iterable[int]) -> "FaultSchedule":
         """Crash-stop ``addrs`` at ``at_ms`` (volatile state is lost)."""
-        return self._add(FaultAction(at_ms, "crash", addrs=tuple(addrs)))
+        addrs = tuple(int(a) for a in addrs)
+        for a in addrs:
+            if not self._alive_at(a, at_ms):
+                raise FaultScheduleError(
+                    f"crash of node {a} at t={at_ms:g}ms: already crashed "
+                    "(no intervening rejoin)"
+                )
+            if self._in_flap(a, at_ms, at_ms + 1e-9):
+                raise FaultScheduleError(
+                    f"crash of node {a} at t={at_ms:g}ms falls inside a "
+                    "flap window of the same node"
+                )
+        for a in addrs:
+            self._note_life(a, at_ms, "crash")
+        self._spec.append({"at": float(at_ms), "crash": list(addrs)})
+        return self._add(FaultAction(at_ms, "crash", addrs=addrs))
 
     def rejoin(self, at_ms: float, addrs: Iterable[int]) -> "FaultSchedule":
         """Previously crashed ``addrs`` rejoin the overlay at ``at_ms``."""
-        return self._add(FaultAction(at_ms, "rejoin", addrs=tuple(addrs)))
+        addrs = tuple(int(a) for a in addrs)
+        for a in addrs:
+            if self._alive_at(a, at_ms):
+                raise FaultScheduleError(
+                    f"rejoin of node {a} at t={at_ms:g}ms: never crashed "
+                    "before that time (or already rejoined)"
+                )
+            if self._in_flap(a, at_ms, at_ms + 1e-9):
+                raise FaultScheduleError(
+                    f"rejoin of node {a} at t={at_ms:g}ms falls inside a "
+                    "flap window of the same node"
+                )
+        for a in addrs:
+            self._note_life(a, at_ms, "rejoin")
+        self._spec.append({"at": float(at_ms), "rejoin": list(addrs)})
+        return self._add(FaultAction(at_ms, "rejoin", addrs=addrs))
 
     def partition(
         self, from_ms: float, until_ms: float, groups: Dict[int, int]
     ) -> "FaultSchedule":
         """Split the network into ``groups`` during [from_ms, until_ms)."""
         if until_ms <= from_ms:
-            raise ValueError("partition window must have positive length")
+            raise FaultScheduleError("partition window must have positive length")
+        self._check_window("partition", from_ms, until_ms)
+        self._spec.append(
+            {
+                "from": float(from_ms),
+                "to": float(until_ms),
+                "partition": {int(k): int(v) for k, v in groups.items()},
+            }
+        )
         self._add(
             FaultAction(from_ms, "partition", groups=tuple(sorted(groups.items())))
         )
@@ -159,10 +365,17 @@ class FaultSchedule:
         """Drop packets with probability ``rate`` from ``from_ms`` on;
         ``until_ms`` (exclusive) closes the window, ``None`` leaves it
         open for the rest of the run."""
+        if until_ms is not None and until_ms <= from_ms:
+            raise FaultScheduleError("loss window must have positive length")
+        self._check_window("loss", from_ms, until_ms)
+        entry: Dict = {"from": float(from_ms), "loss": float(rate)}
+        if until_ms is not None:
+            entry["to"] = float(until_ms)
+        if seed:
+            entry["seed"] = int(seed)
+        self._spec.append(entry)
         self._add(FaultAction(from_ms, "loss", rate=rate, seed=seed))
         if until_ms is not None:
-            if until_ms <= from_ms:
-                raise ValueError("loss window must have positive length")
             self._add(FaultAction(until_ms, "clear_loss"))
         return self
 
@@ -171,9 +384,13 @@ class FaultSchedule:
     ) -> "FaultSchedule":
         """Multiply link latencies by ``factor`` during the window."""
         if until_ms <= from_ms:
-            raise ValueError("latency window must have positive length")
+            raise FaultScheduleError("latency window must have positive length")
         if factor <= 0:
-            raise ValueError("latency factor must be positive")
+            raise FaultScheduleError("latency factor must be positive")
+        self._check_window("latency", from_ms, until_ms)
+        self._spec.append(
+            {"from": float(from_ms), "to": float(until_ms), "latency": float(factor)}
+        )
         self._add(FaultAction(from_ms, "latency", factor=factor))
         return self._add(FaultAction(until_ms, "clear_latency"))
 
@@ -186,11 +403,155 @@ class FaultSchedule:
         queue exactly like an event storm at a hot rendezvous zone; with
         infinite capacity (the default) they are handled instantly and
         the storm is invisible -- see docs/FAULTS.md."""
+        self._spec.append(
+            {
+                "from": float(from_ms),
+                "to": float(until_ms),
+                "storm": {"addr": int(addr), "rate": float(rate)},
+            }
+        )
         return self._add(
             FaultAction(
-                from_ms, "storm", addrs=(addr,), factor=rate, until_ms=until_ms
+                from_ms, "storm", addrs=(int(addr),), factor=rate, until_ms=until_ms
             )
         )
+
+    def slow(
+        self,
+        from_ms: float,
+        until_ms: float,
+        addrs: Iterable[int],
+        factor: float,
+    ) -> "FaultSchedule":
+        """Gray failure: ``addrs`` stay alive but serve at ``factor`` of
+        their nominal service rate during [from_ms, until_ms).  Needs
+        the finite service model (like ``storm``) to be observable."""
+        if until_ms <= from_ms:
+            raise FaultScheduleError("slow window must have positive length")
+        addrs = tuple(int(a) for a in addrs)
+        for a in addrs:
+            self._check_window(f"slow[{a}]", from_ms, until_ms)
+        self._spec.append(
+            {
+                "from": float(from_ms),
+                "to": float(until_ms),
+                "slow": {"addrs": list(addrs), "factor": float(factor)},
+            }
+        )
+        self._add(FaultAction(from_ms, "slow", addrs=addrs, factor=factor))
+        return self._add(FaultAction(until_ms, "clear_slow", addrs=addrs))
+
+    def asym_partition(
+        self,
+        from_ms: float,
+        until_ms: float,
+        src_addrs: Iterable[int],
+        dst_addrs: Iterable[int],
+    ) -> "FaultSchedule":
+        """Gray failure: one-way link cut during [from_ms, until_ms) --
+        packets from ``src_addrs`` to ``dst_addrs`` are dropped while
+        the reverse direction still flows.  Concurrent cuts are legal
+        (each window owns a token), unlike symmetric partitions."""
+        if until_ms <= from_ms:
+            raise FaultScheduleError(
+                "asym_partition window must have positive length"
+            )
+        src = tuple(int(a) for a in src_addrs)
+        dst = tuple(int(a) for a in dst_addrs)
+        token = len(self._windows.setdefault("asym_partition", []))
+        self._windows["asym_partition"].append((from_ms, until_ms))
+        self._spec.append(
+            {
+                "from": float(from_ms),
+                "to": float(until_ms),
+                "asym_partition": {"src": list(src), "dst": list(dst)},
+            }
+        )
+        self._add(
+            FaultAction(
+                from_ms, "asym_partition", addrs=src, dst_addrs=dst, seed=token
+            )
+        )
+        return self._add(
+            FaultAction(until_ms, "heal_asym_partition", seed=token)
+        )
+
+    def duplicate(
+        self, from_ms: float, until_ms: float, rate: float, seed: int = 0
+    ) -> "FaultSchedule":
+        """Gray failure: during [from_ms, until_ms) every delivered
+        packet is delivered a *second* time with probability ``rate``
+        (deterministic per seed).  Exactly-once layers must absorb it."""
+        if until_ms <= from_ms:
+            raise FaultScheduleError("duplicate window must have positive length")
+        self._check_window("duplicate", from_ms, until_ms)
+        entry: Dict = {
+            "from": float(from_ms),
+            "to": float(until_ms),
+            "duplicate": float(rate),
+        }
+        if seed:
+            entry["seed"] = int(seed)
+        self._spec.append(entry)
+        self._add(FaultAction(from_ms, "duplicate", rate=rate, seed=seed))
+        return self._add(FaultAction(until_ms, "clear_duplicate"))
+
+    def reorder(
+        self, from_ms: float, until_ms: float, window_ms: float, seed: int = 0
+    ) -> "FaultSchedule":
+        """Gray failure: during [from_ms, until_ms) every packet picks
+        up an adversarial extra delay uniform in [0, ``window_ms``),
+        reordering otherwise-FIFO streams (deterministic per seed)."""
+        if until_ms <= from_ms:
+            raise FaultScheduleError("reorder window must have positive length")
+        self._check_window("reorder", from_ms, until_ms)
+        entry: Dict = {
+            "from": float(from_ms),
+            "to": float(until_ms),
+            "reorder": float(window_ms),
+        }
+        if seed:
+            entry["seed"] = int(seed)
+        self._spec.append(entry)
+        self._add(FaultAction(from_ms, "reorder", factor=window_ms, seed=seed))
+        return self._add(FaultAction(until_ms, "clear_reorder"))
+
+    def flap(
+        self, from_ms: float, until_ms: float, addr: int, period_ms: float
+    ) -> "FaultSchedule":
+        """Gray failure: crash/rejoin oscillation.  ``addr`` crashes at
+        ``from_ms`` and toggles every ``period_ms``; whatever the phase,
+        it is guaranteed alive again by ``until_ms`` (the heal-by-end
+        contract every window primitive keeps)."""
+        addr = int(addr)
+        if not self._alive_at(addr, from_ms):
+            raise FaultScheduleError(
+                f"flap of node {addr} at t={from_ms:g}ms: node is crashed "
+                "there (rejoin it first)"
+            )
+        if self._in_flap(addr, from_ms, until_ms):
+            raise FaultScheduleError(
+                f"flap of node {addr}: overlapping flap windows"
+            )
+        for when, _what in self._life.get(addr, ()):
+            if from_ms <= when < (until_ms if until_ms is not None else when + 1):
+                raise FaultScheduleError(
+                    f"flap window of node {addr} overlaps a scheduled "
+                    f"crash/rejoin of the same node at t={when:g}ms"
+                )
+        # Validation of period/window happens in FaultAction.__post_init__.
+        action = FaultAction(
+            from_ms, "flap", addrs=(addr,), factor=period_ms, until_ms=until_ms
+        )
+        self._flaps.setdefault(addr, []).append((from_ms, until_ms))
+        self._spec.append(
+            {
+                "from": float(from_ms),
+                "to": float(until_ms),
+                "flap": {"addr": addr, "period": float(period_ms)},
+            }
+        )
+        return self._add(action)
 
     # ------------------------------------------------------------------
     # Generators
@@ -242,7 +603,19 @@ class FaultSchedule:
              {"from": 1000, "to": 4000, "loss": 0.1, "seed": 9},
              {"from": 2000, "to": 6000, "partition": {0: 0, 1: 1}},
              {"from": 8000, "to": 9000, "latency": 3.0},
-             {"from": 2000, "to": 12000, "storm": {"addr": 4, "rate": 5.0}}]
+             {"from": 2000, "to": 12000, "storm": {"addr": 4, "rate": 5.0}},
+             {"from": 2000, "to": 9000, "slow": {"addrs": [1, 2],
+                                                 "factor": 0.25}},
+             {"from": 2000, "to": 9000, "asym_partition": {"src": [0],
+                                                           "dst": [3]}},
+             {"from": 2000, "to": 9000, "duplicate": 0.2},
+             {"from": 2000, "to": 9000, "reorder": 150.0},
+             {"from": 2000, "to": 12000, "flap": {"addr": 5,
+                                                  "period": 2500.0}}]
+
+        The inverse is :meth:`to_spec`; the two compose to the identity
+        on canonical specs (the round-trip contract the chaos shrinker
+        and the failing-schedule replay files rely on).
         """
         sched = cls()
         for entry in spec:
@@ -252,31 +625,60 @@ class FaultSchedule:
             t1 = entry.pop("to", None)
             seed = entry.pop("seed", 0)
             if len(entry) != 1:
-                raise ValueError(f"spec entry needs exactly one fault key: {entry}")
+                raise FaultScheduleError(
+                    f"spec entry needs exactly one fault key: {entry}"
+                )
             key, value = next(iter(entry.items()))
             if key in ("crash", "rejoin"):
                 if at is None:
-                    raise ValueError(f"{key} needs 'at'")
+                    raise FaultScheduleError(f"{key} needs 'at'")
                 getattr(sched, key)(at, value)
-            elif key == "loss":
+                continue
+            if key == "loss":
                 if t0 is None:
-                    raise ValueError("loss needs 'from'")
+                    raise FaultScheduleError("loss needs 'from'")
                 sched.loss(t0, value, until_ms=t1, seed=seed)
-            elif key == "partition":
-                if t0 is None or t1 is None:
-                    raise ValueError("partition needs 'from' and 'to'")
+                continue
+            # Every remaining kind is a closed window.
+            if t0 is None or t1 is None:
+                raise FaultScheduleError(f"{key} needs 'from' and 'to'")
+            if key == "partition":
                 sched.partition(t0, t1, {int(k): v for k, v in value.items()})
             elif key == "latency":
-                if t0 is None or t1 is None:
-                    raise ValueError("latency needs 'from' and 'to'")
                 sched.latency_spike(t0, t1, value)
             elif key == "storm":
-                if t0 is None or t1 is None:
-                    raise ValueError("storm needs 'from' and 'to'")
                 sched.storm(t0, t1, int(value["addr"]), float(value["rate"]))
+            elif key == "slow":
+                sched.slow(
+                    t0, t1, [int(a) for a in value["addrs"]],
+                    float(value["factor"]),
+                )
+            elif key == "asym_partition":
+                sched.asym_partition(
+                    t0, t1,
+                    [int(a) for a in value["src"]],
+                    [int(a) for a in value["dst"]],
+                )
+            elif key == "duplicate":
+                sched.duplicate(t0, t1, float(value), seed=seed)
+            elif key == "reorder":
+                sched.reorder(t0, t1, float(value), seed=seed)
+            elif key == "flap":
+                sched.flap(t0, t1, int(value["addr"]), float(value["period"]))
             else:
-                raise ValueError(f"unknown fault key {key!r}")
+                raise FaultScheduleError(f"unknown fault key {key!r}")
         return sched
+
+    def to_spec(self) -> List[Dict]:
+        """Serialize back to the declarative DSL.
+
+        ``FaultSchedule.from_spec(s.to_spec())`` reconstructs an
+        equivalent schedule for every builder (old and new kinds alike),
+        and ``from_spec(spec).to_spec() == spec`` for canonical specs --
+        the property the chaos campaign's failing-schedule JSON files
+        and the shrinker's candidate serialization depend on.
+        """
+        return copy.deepcopy(self._spec)
 
     # ------------------------------------------------------------------
     # Execution
@@ -290,7 +692,15 @@ class FaultSchedule:
             system.sim.schedule_at(action.time_ms, self._apply, system, action)
 
     @staticmethod
-    def _apply(system: "HyperSubSystem", action: FaultAction) -> None:
+    def _crash_one(system: "HyperSubSystem", addr: int) -> None:
+        system.nodes[addr].fail()
+
+    @staticmethod
+    def _rejoin_one(system: "HyperSubSystem", addr: int) -> None:
+        system.rejoin_node(addr)
+
+    @classmethod
+    def _apply(cls, system: "HyperSubSystem", action: FaultAction) -> None:
         net = system.network
         # getattr: fault tests drive _apply against stub systems.
         tel = getattr(system, "telemetry", None)
@@ -323,8 +733,49 @@ class FaultSchedule:
             net.set_latency_factor(action.factor)
         elif action.kind == "clear_latency":
             net.clear_latency_factor()
-        elif action.kind == "storm":  # pragma: no branch
+        elif action.kind == "storm":
             net.start_storm(action.addrs[0], action.factor, action.until_ms)
+        elif action.kind == "slow":
+            net.set_slow(action.addrs, action.factor)
+        elif action.kind == "clear_slow":
+            net.clear_slow(action.addrs)
+        elif action.kind == "asym_partition":
+            net.add_asym_cut(action.seed, action.addrs, action.dst_addrs)
+        elif action.kind == "heal_asym_partition":
+            net.remove_asym_cut(action.seed)
+        elif action.kind == "duplicate":
+            net.set_duplicate(action.rate, seed=action.seed)
+        elif action.kind == "clear_duplicate":
+            net.clear_duplicate()
+        elif action.kind == "reorder":
+            net.set_reorder(action.factor, seed=action.seed)
+        elif action.kind == "clear_reorder":
+            net.clear_reorder()
+        elif action.kind == "flap":  # pragma: no branch
+            cls._apply_flap(system, action)
+
+    @classmethod
+    def _apply_flap(cls, system: "HyperSubSystem", action: FaultAction) -> None:
+        """Unroll one flap window into its crash/rejoin oscillation.
+
+        The node crashes *now* (the action's fire time), toggles every
+        ``period`` ms, and -- whatever phase the window length lands on
+        -- is rejoined no later than ``until_ms``: a flap always heals
+        by the end of its window.
+        """
+        addr = action.addrs[0]
+        period = action.factor
+        t1 = action.until_ms
+        cls._crash_one(system, addr)
+        down = True
+        t = action.time_ms + period
+        while t < t1:
+            fn = cls._rejoin_one if down else cls._crash_one
+            system.sim.schedule_at(t, fn, system, addr)
+            down = not down
+            t += period
+        if down:
+            system.sim.schedule_at(t1, cls._rejoin_one, system, addr)
 
     # ------------------------------------------------------------------
     def describe(self) -> str:

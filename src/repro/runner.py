@@ -202,32 +202,88 @@ def deserialize_result(doc: Dict[str, Any]) -> DeliveryResult:
 # ----------------------------------------------------------------------
 # The persistent store
 # ----------------------------------------------------------------------
-class ResultStore:
-    """On-disk ``DeliveryResult`` cache, one JSON file per content key.
+class JsonDocStore:
+    """Generic content-addressed JSON document cache, one file per key.
 
-    Writes are atomic (tempfile + ``os.replace``), so a killed run
-    never leaves a truncated entry; a corrupt or schema-mismatched file
-    is treated as a miss, not an error.
+    The storage discipline every persistent cache in the repo shares:
+    writes are atomic (tempfile + ``os.replace``), so a killed run never
+    leaves a truncated entry; a corrupt or unreadable file is treated as
+    a miss, not an error.  ``hits`` / ``misses`` count ``get_doc``
+    outcomes, so callers (the chaos shrinker, the sweep manifest) can
+    report how much work the cache absorbed.
+
+    :class:`ResultStore` layers ``DeliveryResult`` (de)serialization on
+    top; the chaos shrinker uses it directly to cache scenario verdicts
+    keyed by a schedule hash.
     """
 
     def __init__(self, root) -> None:
         self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
 
     def path_for(self, key: str) -> Path:
         return self.root / f"{key}.json"
 
+    def contains_key(self, key: str) -> bool:
+        return self.path_for(key).exists()
+
+    def get_doc(self, key: str) -> Optional[Dict[str, Any]]:
+        """The stored document for ``key``, or ``None`` on any miss
+        (absent, unreadable, corrupt, or not a JSON object)."""
+        try:
+            doc = json.loads(self.path_for(key).read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        if not isinstance(doc, dict):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return doc
+
+    def put_doc(self, key: str, doc: Dict[str, Any]) -> str:
+        self.root.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=self.root, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(doc, fh, indent=1, sort_keys=True)
+                fh.write("\n")
+            os.replace(tmp, self.path_for(key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return key
+
+    def count(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*.json"))
+
+
+class ResultStore(JsonDocStore):
+    """On-disk ``DeliveryResult`` cache, one JSON file per content key.
+
+    Inherits the atomic-write / corrupt-is-a-miss discipline from
+    :class:`JsonDocStore`; adds the ``DeliveryConfig``-keyed API and the
+    schema gate.
+    """
+
     def contains(
         self, cfg: DeliveryConfig, spec: Optional[WorkloadSpec] = None
     ) -> bool:
-        return self.path_for(store_key(cfg, spec)).exists()
+        return self.contains_key(store_key(cfg, spec))
 
     def get(
         self, cfg: DeliveryConfig, spec: Optional[WorkloadSpec] = None
     ) -> Optional[DeliveryResult]:
-        path = self.path_for(store_key(cfg, spec))
-        try:
-            doc = json.loads(path.read_text(encoding="utf-8"))
-        except (OSError, json.JSONDecodeError):
+        doc = self.get_doc(store_key(cfg, spec))
+        if doc is None:
             return None
         if doc.get("schema") != STORE_SCHEMA:
             return None
@@ -240,27 +296,7 @@ class ResultStore:
         self, result: DeliveryResult, spec: Optional[WorkloadSpec] = None
     ) -> str:
         doc = serialize_result(result, spec)
-        self.root.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(
-            dir=self.root, prefix=".tmp-", suffix=".json"
-        )
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                json.dump(doc, fh, indent=1, sort_keys=True)
-                fh.write("\n")
-            os.replace(tmp, self.path_for(doc["key"]))
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
-        return doc["key"]
-
-    def count(self) -> int:
-        if not self.root.is_dir():
-            return 0
-        return sum(1 for _ in self.root.glob("*.json"))
+        return self.put_doc(doc["key"], doc)
 
 
 def store_root() -> Optional[Path]:

@@ -47,6 +47,9 @@ class SimNode:
         self.service_rate: Optional[float] = None
         #: bound on the ingress queue (``None`` = unbounded).
         self.queue_capacity: Optional[int] = None
+        #: gray-failure degradation: service rate is multiplied by this
+        #: (1.0 = healthy; a ``slow`` fault sets it into (0, 1)).
+        self.slow_factor: float = 1.0
         #: two-band ingress queue: band 0 (control) is served before
         #: band 1 (bulk/event) -- see :meth:`ingress_priority`.
         self._ingress_hi: deque = deque()
@@ -126,7 +129,7 @@ class SimNode:
         if self._serving or not (self._ingress_hi or self._ingress_lo):
             return
         self._serving = True
-        rate = self.service_rate * max(self.capacity, 1e-9)
+        rate = self.service_rate * max(self.capacity * self.slow_factor, 1e-9)
         self.sim.schedule(1.0 / rate, self._service_one)
 
     def _service_one(self) -> None:
@@ -164,6 +167,14 @@ class Network:
         self._loss_rng = None
         self._partition: Optional[Dict[int, int]] = None  # addr -> group
         self._latency_factor = 1.0
+        # -- gray-failure injection (chaos extension) -------------------
+        #: token -> (src frozenset, dst frozenset): one-way link cuts.
+        #: Token-keyed so concurrent cuts compose (unlike _partition).
+        self._asym_cuts: Dict[int, tuple] = {}
+        self._dup_rate = 0.0
+        self._dup_rng = None
+        self._reorder_window = 0.0
+        self._reorder_rng = None
 
     @property
     def dropped(self) -> int:
@@ -213,6 +224,70 @@ class Network:
         """Heal a latency spike: restore nominal link latencies."""
         self._latency_factor = 1.0
 
+    # -- gray failures (chaos extension) --------------------------------
+    def set_slow(self, addrs, factor: float) -> None:
+        """Gray failure: nodes in ``addrs`` stay alive but serve their
+        ingress queues at ``factor`` of their nominal rate.  Only
+        observable under the finite service model (like storms):
+        infinite-capacity nodes have no service time to stretch."""
+        if not 0.0 < factor < 1.0:
+            raise ValueError("slow factor must be in (0, 1)")
+        for addr in addrs:
+            node = self._nodes.get(addr)
+            if node is not None:
+                node.slow_factor = factor
+
+    def clear_slow(self, addrs) -> None:
+        """Heal a slow fault: restore nominal service rates."""
+        for addr in addrs:
+            node = self._nodes.get(addr)
+            if node is not None:
+                node.slow_factor = 1.0
+
+    def add_asym_cut(self, token: int, src_addrs, dst_addrs) -> None:
+        """Install a one-way link cut: packets from ``src_addrs`` to
+        ``dst_addrs`` are dropped (cause ``partition``) while the
+        reverse direction still flows.  ``token`` names the cut so
+        concurrent cuts compose and heal independently."""
+        if token in self._asym_cuts:
+            raise ValueError(f"asym cut token {token} already active")
+        self._asym_cuts[token] = (frozenset(src_addrs), frozenset(dst_addrs))
+
+    def remove_asym_cut(self, token: int) -> None:
+        """Heal the one-way cut named ``token`` (idempotent)."""
+        self._asym_cuts.pop(token, None)
+
+    def set_duplicate(self, rate: float, seed: int = 0) -> None:
+        """Gray failure: deliver each non-local packet a *second* time
+        with probability ``rate`` (deterministic per seed).  0 disables."""
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("duplicate rate must be in [0, 1]")
+        import numpy as np
+
+        self._dup_rate = rate
+        self._dup_rng = np.random.default_rng(seed) if rate > 0 else None
+
+    def clear_duplicate(self) -> None:
+        """Heal duplication: packets are delivered once again."""
+        self.set_duplicate(0.0)
+
+    def set_reorder(self, window_ms: float, seed: int = 0) -> None:
+        """Gray failure: every non-local packet picks up an adversarial
+        extra delay uniform in [0, ``window_ms``), reordering
+        otherwise-FIFO streams (deterministic per seed).  0 disables."""
+        if window_ms < 0:
+            raise ValueError("reorder window must be non-negative")
+        import numpy as np
+
+        self._reorder_window = window_ms
+        self._reorder_rng = (
+            np.random.default_rng(seed) if window_ms > 0 else None
+        )
+
+    def clear_reorder(self) -> None:
+        """Heal reordering: links are FIFO again."""
+        self.set_reorder(0.0)
+
     def start_storm(
         self,
         addr: int,
@@ -260,6 +335,9 @@ class Network:
         """Drop cause for an injected fault, or ``None`` to deliver."""
         if self._partition is not None:
             if self._partition.get(msg.src, 0) != self._partition.get(msg.dst, 0):
+                return "partition"
+        for src_set, dst_set in self._asym_cuts.values():
+            if msg.src in src_set and msg.dst in dst_set:
                 return "partition"
         if self._loss_rng is not None and self._loss_rng.random() < self._loss_rate:
             return "loss"
@@ -309,7 +387,23 @@ class Network:
             return
         self.stats.record_send(msg.src, msg.dst, msg.kind, msg.size_bytes)
         latency = self.topology.latency_ms(msg.src, msg.dst) * self._latency_factor
+        if self._reorder_rng is not None:
+            # Adversarial per-packet jitter: later sends can arrive first.
+            latency += float(self._reorder_rng.uniform(0.0, self._reorder_window))
+            self.stats.record_reorder()
         self.sim.schedule(latency, self._deliver, msg, latency)
+        if self._dup_rng is not None and self._dup_rng.random() < self._dup_rate:
+            # The network ghosts a second copy of the same packet.  A
+            # fresh Message (not the same object) keeps the hop/latency
+            # mutation in _deliver from compounding across the two
+            # deliveries; the payload is shared, exactly like a
+            # retransmitted packet, so dedup layers see the same bits.
+            import dataclasses
+
+            ghost = dataclasses.replace(msg)
+            ghost_latency = latency + float(self._dup_rng.uniform(0.0, latency))
+            self.stats.record_duplicate()
+            self.sim.schedule(ghost_latency, self._deliver, ghost, ghost_latency)
 
     def _deliver(self, msg: Message, latency: float) -> None:
         node = self._nodes.get(msg.dst)

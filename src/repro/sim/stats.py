@@ -125,6 +125,11 @@ class NetworkStats:
             cause: self.registry.counter(f"net.dropped.{cause}")
             for cause in DROP_CAUSES
         }
+        #: gray-failure injection accounting (chaos extension): packets
+        #: the network delivered a second time, and packets that picked
+        #: up adversarial reorder jitter.  Zero on healthy runs.
+        self._c_duplicated = self.registry.counter("net.duplicated")
+        self._c_reordered = self.registry.counter("net.reordered")
         #: event packets deliberately shed by admission control (each one
         #: was NACKed with ``ps_busy`` or accounted as a give-up -- never
         #: silently lost, mirroring the ``gave_up`` discipline).
@@ -221,6 +226,22 @@ class NetworkStats:
         self._c_drop_cause[cause].inc()
 
     @property
+    def duplicated(self) -> int:
+        """Packets the network ghost-delivered twice (duplicate fault)."""
+        return int(self._c_duplicated.value)
+
+    def record_duplicate(self) -> None:
+        self._c_duplicated.inc()
+
+    @property
+    def reordered(self) -> int:
+        """Packets that picked up adversarial reorder jitter."""
+        return int(self._c_reordered.value)
+
+    def record_reorder(self) -> None:
+        self._c_reordered.inc()
+
+    @property
     def gave_up_by_cause(self) -> Dict[str, int]:
         """``{cause: count}`` over :data:`GIVE_UP_CAUSES` (all keys present)."""
         return {
@@ -283,6 +304,8 @@ class NetworkStats:
         self.msgs_by_kind.clear()
         self.registry.reset("transport.")
         self.registry.reset("net.dropped")
+        self.registry.reset("net.duplicated")
+        self.registry.reset("net.reordered")
         self.registry.reset("faults.shed")
         self.registry.reset("breaker.open")
         self.registry.reset("durable.")

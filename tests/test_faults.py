@@ -10,9 +10,10 @@ from repro.core import (
     Scheme,
     Subscription,
 )
-from repro.faults import FaultSchedule, InvariantChecker
+from repro.faults import FaultSchedule, FaultScheduleError, InvariantChecker
+from repro.faults.schedule import SPEC_KEYS
 from repro.sim.engine import Simulator
-from repro.sim.network import Network
+from repro.sim.network import Network, SimNode
 from repro.sim.topology import ConstantTopology
 
 
@@ -144,6 +145,178 @@ class TestFromSpec:
             FaultSchedule.from_spec([{"at": 0, "meteor": [1]}])
 
 
+#: One canonical spec entry per declarative DSL key.  The completeness
+#: test below fails if a new builder lands without a round-trip case.
+_CANONICAL_ENTRIES = {
+    "crash": {"at": 1_000.0, "crash": [3, 7]},
+    "rejoin": [
+        {"at": 1_000.0, "crash": [3, 7]},
+        {"at": 9_000.0, "rejoin": [3, 7]},
+    ],
+    "partition": {"from": 1_000.0, "to": 4_000.0, "partition": {0: 0, 1: 1}},
+    "loss": {"from": 1_000.0, "to": 4_000.0, "loss": 0.2, "seed": 9},
+    "latency": {"from": 1_000.0, "to": 4_000.0, "latency": 3.0},
+    "storm": {
+        "from": 1_000.0, "to": 4_000.0, "storm": {"addr": 2, "rate": 5.0},
+    },
+    "slow": {
+        "from": 1_000.0, "to": 4_000.0,
+        "slow": {"addrs": [1, 2], "factor": 0.25},
+    },
+    "asym_partition": {
+        "from": 1_000.0, "to": 4_000.0,
+        "asym_partition": {"src": [0, 1], "dst": [2, 3]},
+    },
+    "duplicate": {"from": 1_000.0, "to": 4_000.0, "duplicate": 0.3, "seed": 4},
+    "reorder": {"from": 1_000.0, "to": 4_000.0, "reorder": 150.0, "seed": 4},
+    "flap": {
+        "from": 1_000.0, "to": 9_000.0, "flap": {"addr": 5, "period": 2_000.0},
+    },
+}
+
+
+class TestSpecRoundTrip:
+    def test_canonical_cases_cover_every_spec_key(self):
+        # A new SPEC_KEYS member must come with a round-trip case here.
+        assert sorted(_CANONICAL_ENTRIES) == sorted(SPEC_KEYS)
+
+    @pytest.mark.parametrize("key", sorted(SPEC_KEYS))
+    def test_round_trip_identity(self, key):
+        entry = _CANONICAL_ENTRIES[key]
+        spec = entry if isinstance(entry, list) else [entry]
+        assert FaultSchedule.from_spec(spec).to_spec() == spec
+
+    def test_combined_round_trip(self):
+        spec = []
+        for key in sorted(SPEC_KEYS):
+            entry = _CANONICAL_ENTRIES[key]
+            add = entry if isinstance(entry, list) else [entry]
+            for e in add:
+                if e not in spec:
+                    spec.append(e)
+        sched = FaultSchedule.from_spec(spec)
+        assert sched.to_spec() == spec
+        # and the round-trip survives a second trip
+        assert FaultSchedule.from_spec(sched.to_spec()).to_spec() == spec
+
+    def test_to_spec_is_a_copy(self):
+        sched = FaultSchedule().loss(0.0, 0.1, until_ms=1_000.0)
+        spec = sched.to_spec()
+        spec[0]["loss"] = 0.9
+        assert sched.to_spec()[0]["loss"] == 0.1
+
+
+class TestLifeValidation:
+    def test_rejoin_without_crash_rejected(self):
+        with pytest.raises(FaultScheduleError):
+            FaultSchedule().rejoin(5_000, [3])
+
+    def test_rejoin_before_crash_rejected(self):
+        with pytest.raises(FaultScheduleError):
+            FaultSchedule().crash(5_000, [3]).rejoin(1_000, [3])
+
+    def test_crash_a_corpse_rejected(self):
+        sched = FaultSchedule().crash(1_000, [3])
+        with pytest.raises(FaultScheduleError):
+            sched.crash(2_000, [3])  # no intervening rejoin
+
+    def test_crash_rejoin_crash_again_ok(self):
+        sched = (
+            FaultSchedule()
+            .crash(1_000, [3]).rejoin(2_000, [3]).crash(3_000, [3])
+        )
+        assert len(sched.actions) == 3
+
+    def test_crash_inside_flap_window_rejected(self):
+        sched = FaultSchedule().flap(1_000, 9_000, addr=3, period_ms=2_000)
+        with pytest.raises(FaultScheduleError):
+            sched.crash(4_000, [3])
+
+    def test_rejoin_inside_flap_window_rejected(self):
+        # The flap owns the node's life in its window: an explicit
+        # rejoin in there would race the unrolled toggles.
+        sched = FaultSchedule().flap(1_000, 9_000, addr=4, period_ms=2_000)
+        with pytest.raises(FaultScheduleError):
+            sched.rejoin(4_000, [4])
+
+    def test_flap_over_scheduled_crash_rejected(self):
+        sched = FaultSchedule().crash(4_000, [3]).rejoin(6_000, [3])
+        with pytest.raises(FaultScheduleError):
+            sched.flap(1_000, 9_000, addr=3, period_ms=2_000)
+
+    def test_flap_of_crashed_node_rejected(self):
+        sched = FaultSchedule().crash(1_000, [3])
+        with pytest.raises(FaultScheduleError):
+            sched.flap(2_000, 8_000, addr=3, period_ms=2_000)
+
+    def test_overlapping_flaps_rejected(self):
+        sched = FaultSchedule().flap(1_000, 9_000, addr=3, period_ms=2_000)
+        with pytest.raises(FaultScheduleError):
+            sched.flap(5_000, 15_000, addr=3, period_ms=2_000)
+        # a different node may flap concurrently
+        sched.flap(5_000, 15_000, addr=4, period_ms=2_000)
+
+    def test_flap_window_must_fit_one_cycle(self):
+        with pytest.raises(FaultScheduleError):
+            FaultSchedule().flap(1_000, 2_000, addr=3, period_ms=5_000)
+
+
+class TestWindowOverlapValidation:
+    @pytest.mark.parametrize(
+        "make",
+        [
+            lambda s, t0, t1: s.loss(t0, 0.1, until_ms=t1),
+            lambda s, t0, t1: s.partition(t0, t1, {0: 0, 1: 1}),
+            lambda s, t0, t1: s.latency_spike(t0, t1, 2.0),
+            lambda s, t0, t1: s.duplicate(t0, t1, 0.2),
+            lambda s, t0, t1: s.reorder(t0, t1, 100.0),
+        ],
+        ids=["loss", "partition", "latency", "duplicate", "reorder"],
+    )
+    def test_single_active_kinds_reject_overlap(self, make):
+        sched = FaultSchedule()
+        make(sched, 1_000.0, 5_000.0)
+        with pytest.raises(FaultScheduleError):
+            make(sched, 4_000.0, 8_000.0)
+        # touching windows (end == start) are fine
+        make(sched, 5_000.0, 8_000.0)
+
+    def test_open_loss_window_blocks_everything_after(self):
+        sched = FaultSchedule().loss(1_000.0, 0.1)  # no until: open
+        with pytest.raises(FaultScheduleError):
+            sched.loss(50_000.0, 0.2, until_ms=60_000.0)
+
+    def test_slow_overlap_is_per_address(self):
+        sched = FaultSchedule().slow(1_000, 5_000, [1, 2], 0.25)
+        with pytest.raises(FaultScheduleError):
+            sched.slow(4_000, 8_000, [2, 3], 0.25)  # addr 2 overlaps
+        sched.slow(4_000, 8_000, [3, 4], 0.25)  # disjoint addrs are fine
+
+    def test_asym_cuts_may_overlap(self):
+        # Concurrent one-way cuts are legal: each window owns a token.
+        sched = FaultSchedule().asym_partition(1_000, 5_000, [0], [1])
+        sched.asym_partition(2_000, 6_000, [2], [3])
+        kinds = [a.kind for a in sched.actions]
+        assert kinds.count("asym_partition") == 2
+        assert kinds.count("heal_asym_partition") == 2
+
+    def test_gray_builder_parameter_validation(self):
+        with pytest.raises(FaultScheduleError):
+            FaultSchedule().slow(0, 1_000, [1], 1.5)  # factor not in (0,1)
+        with pytest.raises(FaultScheduleError):
+            FaultSchedule().slow(0, 1_000, [], 0.5)  # no addrs
+        with pytest.raises(FaultScheduleError):
+            FaultSchedule().asym_partition(0, 1_000, [1], [1])  # overlap
+        with pytest.raises(FaultScheduleError):
+            FaultSchedule().asym_partition(0, 1_000, [], [1])
+        with pytest.raises(FaultScheduleError):
+            FaultSchedule().duplicate(0, 1_000, 0.0)  # rate not in (0,1]
+        with pytest.raises(FaultScheduleError):
+            FaultSchedule().duplicate(0, 1_000, 1.5)
+        with pytest.raises(FaultScheduleError):
+            FaultSchedule().reorder(0, 1_000, 0.0)  # window not positive
+
+
 class TestInstall:
     def test_install_twice_rejected(self):
         sched = FaultSchedule().loss(0.0, 0.1)
@@ -192,6 +365,61 @@ class TestInstall:
         assert not system.nodes[5].alive()
         system.run(until=6_000)
         assert system.nodes[5].alive()
+
+    def test_gray_windows_apply_and_heal(self):
+        system = StubSystem()
+        net = system.network
+
+        class Dummy(SimNode):
+            def handle_message(self, msg):  # pragma: no cover - unused
+                pass
+
+        dummy = Dummy(0, net)
+        (
+            FaultSchedule()
+            .duplicate(1_000, 3_000, 0.5, seed=2)
+            .reorder(1_000, 3_000, 120.0, seed=2)
+            .asym_partition(1_000, 3_000, [0], [1])
+            .slow(1_000, 3_000, [0], 0.25)
+            .install(system)
+        )
+        probes = []
+
+        def probe():
+            probes.append(
+                (
+                    net._dup_rate,
+                    net._reorder_window,
+                    len(net._asym_cuts),
+                    dummy.slow_factor,
+                )
+            )
+
+        for t in (500, 2_000, 4_000):
+            system.sim.schedule_at(t, probe)
+        system.sim.run()
+        assert probes[0] == (0.0, 0.0, 0, 1.0)
+        assert probes[1] == (0.5, 120.0, 1, 0.25)
+        assert probes[2] == (0.0, 0.0, 0, 1.0)
+
+    def test_flap_unrolls_crash_rejoin_cycles(self):
+        system = build_system()
+        FaultSchedule().flap(1_000, 9_000, addr=5, period_ms=2_000).install(
+            system
+        )
+        probes = {}
+        for t in (500, 1_500, 3_500, 5_500, 7_500, 9_500):
+            system.sim.schedule_at(
+                t, lambda t=t: probes.__setitem__(t, system.nodes[5].alive())
+            )
+        system.run(until=12_000)
+        # crash at 1000, toggle every 2000ms, guaranteed alive by 9000
+        assert probes[500] is True
+        assert probes[1_500] is False
+        assert probes[3_500] is True
+        assert probes[5_500] is False
+        assert probes[7_500] is True
+        assert probes[9_500] is True
 
 
 class TestInvariantChecker:

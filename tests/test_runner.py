@@ -23,6 +23,7 @@ from repro import runner
 from repro.experiments import common
 from repro.experiments.common import DeliveryConfig, figure2_configs
 from repro.runner import (
+    JsonDocStore,
     ResultStore,
     SweepError,
     deserialize_result,
@@ -48,6 +49,46 @@ def fresh_memo():
 def tiny_result(**overrides):
     params = {**TINY, **overrides}
     return common.run_delivery(DeliveryConfig(**params), use_cache=False)
+
+
+# ----------------------------------------------------------------------
+# Generic JSON document cache (base of ResultStore; used directly by
+# the chaos shrinker for scenario verdicts)
+# ----------------------------------------------------------------------
+class TestJsonDocStore:
+    def test_put_get_round_trip(self, tmp_path):
+        store = JsonDocStore(tmp_path / "docs")
+        assert store.get_doc("k") is None  # miss on empty store
+        store.put_doc("k", {"a": 1, "nested": {"b": [1, 2]}})
+        assert store.get_doc("k") == {"a": 1, "nested": {"b": [1, 2]}}
+        assert store.contains_key("k")
+        assert not store.contains_key("other")
+        assert store.count() == 1
+        assert (store.hits, store.misses) == (1, 1)
+
+    def test_corrupt_file_is_a_miss(self, tmp_path):
+        store = JsonDocStore(tmp_path / "docs")
+        store.put_doc("k", {"a": 1})
+        store.path_for("k").write_text("{truncated", encoding="utf-8")
+        assert store.get_doc("k") is None
+        # a JSON scalar is not a document either
+        store.path_for("k").write_text("42", encoding="utf-8")
+        assert store.get_doc("k") is None
+        assert store.misses == 2
+
+    def test_atomic_write_leaves_no_temp_debris(self, tmp_path):
+        store = JsonDocStore(tmp_path / "docs")
+        store.put_doc("a", {"x": 1})
+        store.put_doc("a", {"x": 2})  # overwrite via os.replace
+        assert store.get_doc("a") == {"x": 2}
+        leftovers = [
+            p for p in store.root.iterdir() if p.name.startswith(".tmp-")
+        ]
+        assert leftovers == []
+        assert store.count() == 1
+
+    def test_count_on_missing_root(self, tmp_path):
+        assert JsonDocStore(tmp_path / "never-created").count() == 0
 
 
 # ----------------------------------------------------------------------

@@ -134,6 +134,98 @@ def test_event_message_bytes_model():
         event_message_bytes(-1)
 
 
+# ----------------------------------------------------------------------
+# Gray failures (chaos extension)
+# ----------------------------------------------------------------------
+def test_set_slow_validates_and_applies():
+    sim, net, nodes = make_net()
+    with pytest.raises(ValueError):
+        net.set_slow([1], 0.0)
+    with pytest.raises(ValueError):
+        net.set_slow([1], 1.0)
+    net.set_slow([1, 2], 0.25)
+    assert nodes[1].slow_factor == 0.25
+    assert nodes[2].slow_factor == 0.25
+    assert nodes[0].slow_factor == 1.0
+    net.clear_slow([1, 2])
+    assert nodes[1].slow_factor == 1.0
+    net.set_slow([99], 0.5)  # unknown addr is ignored, not an error
+
+
+def test_asym_cut_drops_one_direction_only():
+    sim, net, nodes = make_net()
+    net.add_asym_cut(0, src_addrs=[0], dst_addrs=[1])
+    net.send(Message(src=0, dst=1, kind="cut", payload=None, size_bytes=10))
+    net.send(Message(src=1, dst=0, kind="ok", payload=None, size_bytes=10))
+    net.send(Message(src=0, dst=2, kind="ok", payload=None, size_bytes=10))
+    sim.run()
+    assert nodes[1].received == []  # forward direction is cut...
+    assert len(nodes[0].received) == 1  # ...reverse still flows
+    assert len(nodes[2].received) == 1  # ...and other dsts are untouched
+    assert net.stats.dropped_by_cause.get("partition") == 1
+
+
+def test_asym_cut_heals_and_tokens_compose():
+    sim, net, nodes = make_net()
+    net.add_asym_cut(0, [0], [1])
+    net.add_asym_cut(1, [2], [1])  # concurrent cut, own token
+    with pytest.raises(ValueError):
+        net.add_asym_cut(0, [3], [1])  # token already active
+    net.remove_asym_cut(0)
+    net.remove_asym_cut(0)  # idempotent
+    net.send(Message(src=0, dst=1, kind="a", payload=None, size_bytes=10))
+    net.send(Message(src=2, dst=1, kind="b", payload=None, size_bytes=10))
+    sim.run()
+    kinds = [m.kind for _t, m in nodes[1].received]
+    assert kinds == ["a"]  # cut 0 healed, cut 1 still active
+
+
+def test_duplicate_rate_one_delivers_twice():
+    sim, net, nodes = make_net()
+    with pytest.raises(ValueError):
+        net.set_duplicate(1.5)
+    net.set_duplicate(1.0, seed=3)
+    net.send(Message(src=0, dst=1, kind="d", payload=None, size_bytes=10))
+    sim.run()
+    assert len(nodes[1].received) == 2
+    assert net.stats.duplicated == 1
+    # the ghost is a distinct Message object (hop counters must not
+    # compound across the two deliveries) sharing the same payload bits
+    (_, a), (_, b) = nodes[1].received
+    assert a is not b
+    assert a.hops == b.hops == 1
+    net.clear_duplicate()
+    net.send(Message(src=0, dst=1, kind="d2", payload=None, size_bytes=10))
+    sim.run()
+    assert sum(1 for _t, m in nodes[1].received if m.kind == "d2") == 1
+
+
+def test_reorder_adds_adversarial_delay():
+    sim, net, nodes = make_net(rtt=100.0)
+    with pytest.raises(ValueError):
+        net.set_reorder(-1.0)
+    net.set_reorder(500.0, seed=11)
+    for i in range(10):
+        net.send(
+            Message(src=0, dst=1, kind=f"m{i}", payload=None, size_bytes=10)
+        )
+    sim.run()
+    assert net.stats.reordered == 10
+    times = [t for t, _m in nodes[1].received]
+    # every packet is late vs the nominal one-way 50ms, and the jitter
+    # actually reordered the otherwise-FIFO stream for this seed
+    assert all(t >= 50.0 for t in times)
+    kinds = [m.kind for _t, m in nodes[1].received]
+    assert kinds != [f"m{i}" for i in range(10)]
+    net.clear_reorder()
+    nodes[1].received.clear()
+    t0 = sim.now
+    net.send(Message(src=0, dst=1, kind="x", payload=None, size_bytes=10))
+    sim.run()
+    (t, _m), = nodes[1].received
+    assert t == t0 + 50.0  # back to nominal latency, no jitter
+
+
 def test_stats_reset():
     sim, net, nodes = make_net()
     net.send(Message(src=0, dst=1, kind="t", payload=None, size_bytes=30))
