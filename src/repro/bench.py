@@ -238,6 +238,271 @@ def _bench_matching(
     }
 
 
+def _clustered_boxes(n: int, rng, clusters: int = 64):
+    """Fig-shaped box workload: hotspot clusters over a 4-dim domain.
+
+    Subscriptions in the paper's workloads concentrate on popular
+    attribute regions; hotspot clusters reproduce that skew so the
+    covering layer has real overlap to aggregate while the band/grid
+    indexes still see a full-domain spread.
+    """
+    import numpy as np
+
+    centres = rng.uniform(500, 9_500, (clusters, 4))
+    which = rng.integers(0, clusters, n)
+    mid = centres[which] + rng.normal(0, 200, (n, 4))
+    half = rng.uniform(5, 250, (n, 4))
+    lows = np.clip(mid - half, 0.0, 10_000.0)
+    highs = np.clip(mid + half, 0.0, 10_000.0)
+    return lows, highs
+
+
+def _bench_algo5(
+    full_scale: bool, points: int = 200, repeat: int = 3
+) -> Dict[str, Any]:
+    """``algo5.match`` micro across index kinds and covering modes.
+
+    Per scale (10^4 always; 10^5 unless quick) the same clustered box
+    set is loaded into the linear, grid and bands stores and the same
+    query points are matched through each; answers are cross-checked so
+    a speedup can never come from a wrong index.  Covering runs at 10^4
+    only: its fusion sweep re-enumerates overlaps while aggregates
+    snowball, which is quadratic-ish on overlap-dense sets -- the fig3
+    bench covers it at system scale instead.
+    """
+    import numpy as np
+
+    from repro.core.covering import CoveringStore
+    from repro.core.indexing import make_store
+    from repro.core.matching import BoxStore
+    from repro.core.subscription import SubID
+
+    rng = np.random.default_rng(11)
+    scales = [10_000] + ([100_000] if full_scale else [])
+    out: Dict[str, Any] = {"scales": {}}
+    for n in scales:
+        lows, highs = _clustered_boxes(n, rng)
+        pts = rng.uniform(0, 10_000, (points, 4))
+        stores = {
+            "linear": BoxStore(4),
+            "grid": make_store(
+                "grid", 4, np.zeros(4), np.full(4, 10_000.0), 16
+            ),
+            "bands": make_store("bands", 4),
+        }
+        for store in stores.values():
+            for i in range(n):
+                store.put(SubID(i, 1), lows[i], highs[i])
+
+        def run(store) -> float:
+            best = float("inf")
+            for _ in range(repeat):
+                t0 = perf_counter()
+                for p in pts:
+                    store.match_point(p)
+                best = min(best, perf_counter() - t0)
+            return best
+
+        secs = {name: run(store) for name, store in stores.items()}
+        ref = sorted(stores["linear"].match_point(pts[0]))
+        agree = all(
+            sorted(s.match_point(pts[0])) == ref for s in stores.values()
+        )
+        entry: Dict[str, Any] = {
+            "boxes": n,
+            "points": points,
+            "agree": bool(agree),
+            "grid_speedup": secs["linear"] / secs["grid"],
+            "bands_speedup": secs["linear"] / secs["bands"],
+        }
+        for name, s in secs.items():
+            entry[f"{name}_us_per_call"] = s / points * 1e6
+        if n <= 10_000:
+            cov = CoveringStore(BoxStore(4), merge_max_waste=0.5)
+            t0 = perf_counter()
+            for i in range(n):
+                cov.put(SubID(i, 1), lows[i], highs[i])
+            build_s = perf_counter() - t0
+            cov_s = run(cov)
+            cov_agree = all(
+                sorted(cov.match_point(p))
+                == sorted(stores["linear"].match_point(p))
+                for p in pts[:50]
+            )
+            entry["covering"] = {
+                "build_seconds": build_s,
+                "entries": len(cov),
+                "index_boxes": cov.index_size(),
+                "aggregation_ratio": len(cov) / max(1, cov.index_size()),
+                "match_us_per_call": cov_s / points * 1e6,
+                "speedup_vs_linear": secs["linear"] / cov_s,
+                "agree": bool(cov_agree),
+            }
+        out["scales"][str(n)] = entry
+    return out
+
+
+def _bench_pop_matching(boxes: int = 30_000, repeat: int = 3) -> Dict[str, Any]:
+    """Migration-sized ``pop_matching`` extraction vs the public-API
+    reference loop it replaced (subids -> get_box -> remove), which
+    re-resolves the slot dict twice per entry."""
+    import numpy as np
+
+    from repro.core.matching import BoxStore
+    from repro.core.subscription import SubID
+
+    rng = np.random.default_rng(5)
+    lows = rng.uniform(0, 9_000, (boxes, 4))
+    highs = lows + rng.uniform(10, 500, (boxes, 4))
+    ids = [SubID(int(rng.integers(0, 1 << 32)), i) for i in range(boxes)]
+
+    def fill() -> BoxStore:
+        store = BoxStore(4)
+        for i, sid in enumerate(ids):
+            store.put(sid, lows[i], highs[i])
+        return store
+
+    def predicate(sid) -> bool:  # a migrated identifier arc (~1/4)
+        return sid.nid % 4 == 1
+
+    single_s = float("inf")
+    reference_s = float("inf")
+    popped = ref_popped = -1
+    for _ in range(repeat):
+        store = fill()
+        t0 = perf_counter()
+        got = store.pop_matching(predicate)
+        single_s = min(single_s, perf_counter() - t0)
+        popped = len(got)
+
+        store = fill()
+        t0 = perf_counter()
+        out = []
+        for sid in [s for s in store.subids() if predicate(s)]:
+            lo, hi = store.get_box(sid)
+            store.remove(sid)
+            out.append((sid, lo, hi))
+        reference_s = min(reference_s, perf_counter() - t0)
+        ref_popped = len(out)
+        if {s for s, _, _ in got} != {s for s, _, _ in out}:
+            raise AssertionError("pop_matching disagrees with reference")
+    return {
+        "boxes": boxes,
+        "popped": popped,
+        "reference_popped": ref_popped,
+        "single_pass_ms": single_s * 1e3,
+        "reference_ms": reference_s * 1e3,
+        "speedup": reference_s / single_s,
+    }
+
+
+# ----------------------------------------------------------------------
+# Covering macro (fig3-shaped installation run)
+# ----------------------------------------------------------------------
+def _run_covering_once(
+    num_nodes: int, num_events: int, covering: bool
+) -> Dict[str, Any]:
+    import hashlib
+
+    from repro.core.config import HyperSubConfig
+    from repro.core.system import HyperSubSystem
+    from repro.workloads import WorkloadGenerator, default_paper_spec
+
+    cfg = HyperSubConfig(seed=1, covering=covering)
+    system = HyperSubSystem(num_nodes=num_nodes, config=cfg)
+    gen = WorkloadGenerator(default_paper_spec(subs_per_node=10), seed=7)
+    system.add_scheme(gen.scheme)
+    gen.populate(system)
+    system.finish_setup()  # drains cascades incl. coalesced flushes
+    marker = list(system.install_traffic.get("marker", [0, 0]))
+    subs = list(system.install_traffic.get("sub", [0, 0]))
+    stats = system.covering_stats()
+    gen.schedule_events(system, count=num_events)
+    system.run_until_idle()
+    digest = hashlib.sha256()
+    for eid in sorted(system.metrics.records):
+        rec = system.metrics.records[eid]
+        for sid, addr, _hops, _lat in sorted(
+            rec.deliveries, key=lambda d: (d[0].nid, d[0].iid, d[1])
+        ):
+            digest.update(f"{eid}|{sid.nid}|{sid.iid}|{addr}\n".encode())
+    deliveries = sum(len(r.deliveries) for r in system.metrics.records.values())
+    return {
+        "covering": covering,
+        "marker_registrations": marker[0],
+        "marker_bytes": marker[1],
+        "sub_registrations": subs[0],
+        "entries": stats["entries"],
+        "index_boxes": stats["boxes"],
+        "deliveries": deliveries,
+        "digest": digest.hexdigest(),
+    }
+
+
+def _bench_covering_fig3(num_nodes: int, num_events: int) -> Dict[str, Any]:
+    """Fig3-shaped installation cost, covering off vs on.
+
+    The tentpole gate: covering mode must cut the surrogate-subscription
+    registrations the child-piece cascade installs (the deferred
+    level-sweep flush coalesces every same-window re-push into one
+    aggregate piece per child digit) while delivering a byte-identical
+    event outcome -- the digest covers (event, subid, subscriber) for
+    every delivery, so any matching divergence fails the build.
+    """
+    off = _run_covering_once(num_nodes, num_events, covering=False)
+    on = _run_covering_once(num_nodes, num_events, covering=True)
+    return {
+        "num_nodes": num_nodes,
+        "num_events": num_events,
+        "off": off,
+        "on": on,
+        "surrogate_install_reduction": (
+            off["marker_registrations"] / max(1, on["marker_registrations"])
+        ),
+        "surrogate_bytes_reduction": (
+            off["marker_bytes"] / max(1, on["marker_bytes"])
+        ),
+        "aggregation_ratio": on["entries"] / max(1, on["index_boxes"]),
+        "digest_equal": off["digest"] == on["digest"],
+    }
+
+
+def run_matching_smoke(
+    num_nodes: int = 150, num_events: int = 100
+) -> Dict[str, Any]:
+    """The CI ``matching-smoke`` gate, as one callable document.
+
+    Runs only the matching-engine benches (no scheduler/routing/macro)
+    and attaches the same floor checks ``validate_bench`` applies to
+    them: index agreement, the bands floor, ``pop_matching``
+    improvement, and the fig3 covering reduction + digest equality.
+    """
+    algo5 = _bench_algo5(full_scale=False)
+    pop = _bench_pop_matching()
+    covering = _bench_covering_fig3(num_nodes, num_events)
+    scale = algo5["scales"]["10000"]
+    checks = {
+        "matching_agreement": bool(
+            scale["agree"] and scale["covering"]["agree"]
+        ),
+        "bands_floor_1e4": scale["bands_speedup"] >= 1.0,
+        "pop_matching_improved": pop["speedup"] > 1.0,
+        "covering_digest_identical": covering["digest_equal"],
+        "covering_reduces_surrogates": (
+            covering["surrogate_install_reduction"]
+            >= (3.0 if num_nodes >= 600 else 1.5)
+        ),
+        "covering_aggregates": covering["aggregation_ratio"] > 1.0,
+    }
+    return {
+        "schema": SCHEMA,
+        "algo5": algo5,
+        "pop_matching": pop,
+        "covering": covering,
+        "checks": checks,
+    }
+
+
 # ----------------------------------------------------------------------
 # Macro benchmark (fig2-shaped delivery run, profiler on)
 # ----------------------------------------------------------------------
@@ -309,10 +574,32 @@ def validate_bench(data: Dict[str, Any]) -> Dict[str, bool]:
     """Floor checks; every value must be True for the build to pass."""
     micro = data["micro"]
     macro = data["macro"]
+    covering = data["covering"]
+    algo5 = micro["algo5"]["scales"]
+    big = algo5.get("100000")
     return {
         "scheduler_floor": (
             micro["scheduler"]["ops_per_sec"] >= SCHEDULER_FLOOR_OPS
         ),
+        # Acceptance gates of the matching-engine overhaul: the bands
+        # index must beat linear (>=5x at 10^5; parity floor at 10^4
+        # where candidate verification dominates), every index kind and
+        # the covering layer must agree with the naive store, and the
+        # fig3 covering run must cut surrogate installs while keeping
+        # the delivery digest byte-identical.
+        "matching_agreement": all(
+            e["agree"] and e.get("covering", {}).get("agree", True)
+            for e in algo5.values()
+        ),
+        "bands_floor_1e4": algo5["10000"]["bands_speedup"] >= 1.0,
+        "bands_5x_1e5": big is None or big["bands_speedup"] >= 5.0,
+        "pop_matching_improved": micro["pop_matching"]["speedup"] > 1.0,
+        "covering_digest_identical": covering["digest_equal"],
+        "covering_reduces_surrogates": (
+            covering["surrogate_install_reduction"]
+            >= (3.0 if covering["num_nodes"] >= 600 else 1.5)
+        ),
+        "covering_aggregates": covering["aggregation_ratio"] > 1.0,
         "routing_speedup": (
             micro["routing"]["closest_preceding_speedup"]
             >= ROUTING_SPEEDUP_FLOOR
@@ -351,6 +638,12 @@ TRAJECTORY_FLOORS: Dict[str, Dict[str, Any]] = {
     "next_hop_ops_per_sec": {"direction": "higher", "env": _FULL_ENV},
     "routing_speedup": {"direction": "higher", "env": _FULL_ENV},
     "matching_grid_speedup": {"direction": "higher", "env": _FULL_ENV},
+    "matching_bands_speedup": {"direction": "higher", "env": _FULL_ENV},
+    "pop_matching_speedup": {"direction": "higher", "env": _FULL_ENV},
+    # Deterministic counters (simulation outcomes, not wall-clock):
+    # comparable across any machine, so no env fields gate them.
+    "surrogate_install_reduction": {"direction": "higher", "env": ()},
+    "covering_aggregation_ratio": {"direction": "higher", "env": ()},
     "mem_bytes_per_node": {"direction": "lower", "env": _MEM_ENV},
 }
 
@@ -380,6 +673,16 @@ def trajectory_point(data: Dict[str, Any]) -> Dict[str, Any]:
             "next_hop_ops_per_sec": micro["routing"]["next_hop_ops_per_sec"],
             "routing_speedup": micro["routing"]["closest_preceding_speedup"],
             "matching_grid_speedup": micro["matching"]["grid_speedup"],
+            "matching_bands_speedup": (
+                micro["algo5"]["scales"]["10000"]["bands_speedup"]
+            ),
+            "pop_matching_speedup": micro["pop_matching"]["speedup"],
+            "surrogate_install_reduction": (
+                data["covering"]["surrogate_install_reduction"]
+            ),
+            "covering_aggregation_ratio": (
+                data["covering"]["aggregation_ratio"]
+            ),
             "mem_bytes_per_node": float(mem.get("bytes_per_node", 0.0)),
             "wall_improvement": macro["wall_improvement"],
         },
@@ -521,13 +824,17 @@ def run_bench(
     print(f"bench: macro scale {num_nodes} nodes / {num_events} events")
 
     t_start = time.time()
+    full_scale = num_nodes >= 600  # quick CI runs skip the 10^5 micro
     micro = {
         "scheduler": _bench_scheduler(),
         "routing": _bench_routing(),
         "matching": _bench_matching(),
+        "algo5": _bench_algo5(full_scale),
+        "pop_matching": _bench_pop_matching(),
         "store": _bench_store(),
     }
     macro = _bench_macro(num_nodes, num_events, tel_dir)
+    covering = _bench_covering_fig3(num_nodes, max(100, num_events // 2))
 
     data: Dict[str, Any] = {
         "schema": SCHEMA,
@@ -546,6 +853,7 @@ def run_bench(
         },
         "micro": micro,
         "macro": macro,
+        "covering": covering,
     }
     checks = validate_bench(data)
     data["checks"] = checks
@@ -576,6 +884,31 @@ def run_bench(
         f"{r['closest_preceding_speedup']:.1f}x)\n"
         f"matching      grid {micro['matching']['grid_speedup']:.1f}x over "
         f"linear at {micro['matching']['boxes']} boxes\n"
+        + "".join(
+            f"algo5.match   {int(n):>6} boxes: grid "
+            f"{e['grid_speedup']:.1f}x, bands {e['bands_speedup']:.1f}x"
+            + (
+                f", covering {e['covering']['aggregation_ratio']:.1f} "
+                "subs/box"
+                if "covering" in e
+                else ""
+            )
+            + "\n"
+            for n, e in sorted(
+                micro["algo5"]["scales"].items(), key=lambda kv: int(kv[0])
+            )
+        )
+        + f"pop_matching  {micro['pop_matching']['speedup']:.2f}x vs "
+        f"reference loop ({micro['pop_matching']['popped']} of "
+        f"{micro['pop_matching']['boxes']} boxes popped)\n"
+        f"covering      surrogate installs "
+        f"{covering['off']['marker_registrations']:,} -> "
+        f"{covering['on']['marker_registrations']:,} "
+        f"({covering['surrogate_install_reduction']:.2f}x fewer, "
+        f"{covering['surrogate_bytes_reduction']:.2f}x fewer bytes), "
+        f"{covering['aggregation_ratio']:.2f} entries/box, digest "
+        + ("identical" if covering["digest_equal"] else "MISMATCH")
+        + "\n"
         f"store         put {micro['store']['put_ms']:.1f}ms / get "
         f"{micro['store']['get_ms']:.1f}ms "
         f"({micro['store']['entry_kb']:.0f} KB/entry)\n"

@@ -217,11 +217,42 @@ class HyperSubConfig:
 
     # -- local event matching --------------------------------------------
     #: Index structure for surrogate repositories: "linear" (vectorised
-    #: scan, default) or "grid" (spatial hash over the first two
-    #: dimensions -- the "indexing structures ... to facilitate local
-    #: event matching" the paper mentions but leaves open).  Both answer
-    #: identically; grid wins once stores grow to thousands of entries.
+    #: scan, default), "grid" (spatial hash over the first two
+    #: dimensions) or "bands" (interval-band bitsets over every
+    #: dimension -- the "indexing structures ... to facilitate local
+    #: event matching" the paper mentions but leaves open).  All answer
+    #: identically; grid/bands win once stores grow to thousands of
+    #: entries (docs/MATCHING.md).
     matching_index: str = "linear"
+    #: Grid resolution per indexed dimension for ``matching_index=
+    #: "grid"``.  16 suits fig-2-scale repos; raise it when single
+    #: repositories hold 10^4-10^5 subscriptions.
+    matching_cells: int = 16
+    #: Subscription covering/aggregation layer (docs/MATCHING.md): an
+    #: installed subscription covered by (or cheaply merged into) an
+    #: existing aggregate becomes a refcounted membership instead of a
+    #: new physical box; members are resolved exactly at delivery time,
+    #: so delivered events are identical with the knob on or off.
+    covering: bool = False
+    #: Merge-profitability bound for covering: two boxes merge only when
+    #: the union's volume expansion factor stays ≤ 1 + merge_max_waste
+    #: (the bounded false-positive volume ratio).  0 admits only exact
+    #: covering.
+    merge_max_waste: float = 0.5
+    #: Covering mode coalesces cascade re-pushes: a repo whose filter
+    #: changed is flushed once per window, dispatching ONE aggregate
+    #: surrogate subscription per child digit instead of re-cascading on
+    #: every install.  The window bounds filter-freshness lag the same
+    #: way install-propagation delay already does; events published
+    #: after the flush see the full chain.
+    filter_flush_ms: float = 100.0
+    #: Summary-filter maintenance: "shrink" (default) recomputes a tight
+    #: sf after removals/migrations and propagates shrinks down the
+    #: cascade (withdrawing surrogate subscriptions whose piece became
+    #: empty); "grow-only" keeps the paper's never-shrink
+    #: over-approximation for ablation.  Delivered events are identical
+    #: either way -- shrinking only removes false-positive cascade hops.
+    summary_mode: str = "shrink"
 
     # -- installation --------------------------------------------------
     #: When True, subscription installation rides simulated DHT lookups
@@ -249,8 +280,16 @@ class HyperSubConfig:
             raise ValueError("replication_factor must be >= 1")
         if self.replication_factor > 1 and self.overlay != "chord":
             raise ValueError("replication requires the chord overlay")
-        if self.matching_index not in ("linear", "grid"):
+        if self.matching_index not in ("linear", "grid", "bands"):
             raise ValueError(f"unknown matching_index {self.matching_index!r}")
+        if not 1 <= self.matching_cells <= 4096:
+            raise ValueError("matching_cells must be in [1, 4096]")
+        if self.merge_max_waste < 0:
+            raise ValueError("merge_max_waste must be non-negative")
+        if self.filter_flush_ms <= 0:
+            raise ValueError("filter_flush_ms must be positive")
+        if self.summary_mode not in ("shrink", "grow-only"):
+            raise ValueError(f"unknown summary_mode {self.summary_mode!r}")
         if self.retransmit_timeout_ms <= 0:
             raise ValueError("retransmit_timeout_ms must be positive")
         if self.max_retries < 0:

@@ -2,11 +2,12 @@
 
 Algorithm 3's commentary: "There may be indexing structures maintained
 on the surrogate node to facilitate local event matching; however, this
-is not the focus of this paper."  This module supplies one:
+is not the focus of this paper."  This module supplies two:
 :class:`GridIndex`, a spatial-hash accelerator over the first two
-dimensions, drop-in compatible with :class:`~repro.core.matching.BoxStore`
-(the micro-benchmarks compare them; the property tests prove they
-answer identically).
+dimensions, and :class:`BandIndex`, an interval-band (counting-style)
+index over every dimension -- both drop-in compatible with
+:class:`~repro.core.matching.BoxStore` (the micro-benchmarks compare
+them; the property tests prove they answer identically).
 
 The linear store compares the query point against *every* stored box
 (vectorised, so cheap until stores grow to thousands of entries).  The
@@ -19,7 +20,7 @@ events far more often than they accept registrations.
 
 from __future__ import annotations
 
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -106,10 +107,8 @@ class GridIndex(BoxStore):
                 if not bucket:
                     del self._buckets[cell]
 
-    def remove(self, subid: SubID) -> None:
-        slot = self._slot_of[subid]
+    def _release_slot(self, slot: int) -> None:
         self._unlink(slot)
-        super().remove(subid)
 
     # ------------------------------------------------------------------
     def match_point(self, point: np.ndarray) -> List[SubID]:
@@ -131,6 +130,135 @@ class GridIndex(BoxStore):
         return [self._subids[i] for i in idx[np.nonzero(inside)[0]]]  # type: ignore[misc]
 
 
+class BandIndex(BoxStore):
+    """Interval-band (counting-style) index over *every* dimension.
+
+    Per dimension the stored box boundaries are summarised into a
+    sorted array of band edges (value quantiles, so bands adapt to the
+    data); each band carries a packed bitset of the slots whose
+    interval overlaps it.  ``match_point`` locates the point's band on
+    each dimension with one binary search and intersects ≤ ``dims``
+    bitsets -- one vectorised AND instead of a scan over all boxes --
+    then verifies the few surviving candidates exactly, so answers are
+    identical to :class:`BoxStore` by construction.
+
+    The bitsets are rebuilt lazily: mutations land in a small *delta*
+    set that queries scan linearly alongside the bitsets, and a rebuild
+    triggers only once the delta outgrows a fraction of the indexed
+    population.  Bulk install followed by heavy matching (the zone-repo
+    life cycle) therefore pays one rebuild; stores below
+    ``_MIN_INDEXED`` entries never build at all and stay pure linear.
+    """
+
+    _MIN_INDEXED = 64
+
+    def __init__(self, dims: int, bands_per_dim: int = 0) -> None:
+        super().__init__(dims)
+        if bands_per_dim < 0:
+            raise ValueError("bands_per_dim must be >= 0 (0 = auto)")
+        self._bands_cfg = bands_per_dim
+        self._edges: List[np.ndarray] = []
+        self._bits: List[np.ndarray] = []  # per dim: (n_bands, words) uint8
+        self._built_cap = 0
+        self._built_count = 0
+        self._delta: Set[int] = set()  # slots not in the built bitsets
+        self._stale = 0  # built slots removed since the rebuild
+
+    # ------------------------------------------------------------------
+    def put(self, subid: SubID, lows, highs) -> None:
+        super().put(subid, lows, highs)
+        # A replacement's old box may still sit in the built bitsets;
+        # the query path unions delta candidates before verifying, so
+        # the stale entry can only ever be a filtered false positive.
+        self._delta.add(self._slot_of[subid])
+
+    def _release_slot(self, slot: int) -> None:
+        if slot in self._delta:
+            self._delta.discard(slot)
+        else:
+            self._stale += 1  # inactive until rebuild; _active gates it
+
+    # ------------------------------------------------------------------
+    def _needs_rebuild(self) -> bool:
+        if self._size < self._MIN_INDEXED:
+            return False
+        pending = len(self._delta) + self._stale
+        if not self._built_count:
+            return pending > 0
+        return pending * 4 > max(self._MIN_INDEXED, self._built_count)
+
+    def _rebuild(self) -> None:
+        cap = len(self._active)
+        idx = np.nonzero(self._active)[0]
+        n = len(idx)
+        self._delta.clear()
+        self._stale = 0
+        self._built_cap = cap
+        self._built_count = n
+        if n == 0:
+            self._edges = []
+            self._bits = []
+            return
+        n_bands = self._bands_cfg or int(np.clip(n // 8, 16, 1024))
+        words = (cap + 7) // 8
+        edges_list: List[np.ndarray] = []
+        bits_list: List[np.ndarray] = []
+        for d in range(self.dims):
+            lo = self._lows[idx, d]
+            hi = self._highs[idx, d]
+            vals = np.concatenate([lo, hi])
+            vals = vals[np.isfinite(vals)]
+            if vals.size:
+                qs = np.linspace(0.0, 1.0, n_bands + 1)[1:-1]
+                edges = np.unique(np.quantile(vals, qs))
+            else:
+                edges = np.empty(0, dtype=np.float64)
+            # Bands: (-inf, e0), [e0, e1), ..., [e_last, +inf).
+            b0 = np.searchsorted(edges, lo, side="right")
+            b1 = np.searchsorted(edges, hi, side="right")
+            nb = len(edges) + 1
+            bits = np.zeros((nb, words), dtype=np.uint8)
+            for start in range(0, nb, 128):
+                stop = min(start + 128, nb)
+                bands = np.arange(start, stop)[:, None]
+                member = (b0[None, :] <= bands) & (bands <= b1[None, :])
+                full = np.zeros((stop - start, cap), dtype=bool)
+                full[:, idx] = member
+                bits[start:stop] = np.packbits(full, axis=1)
+            edges_list.append(edges)
+            bits_list.append(bits)
+        self._edges = edges_list
+        self._bits = bits_list
+
+    # ------------------------------------------------------------------
+    def match_point(self, point: np.ndarray) -> List[SubID]:
+        if self._size == 0:
+            return []
+        point = np.asarray(point, dtype=np.float64)
+        if self._needs_rebuild():
+            self._rebuild()
+        if not self._built_count:
+            return super().match_point(point)
+        acc: Optional[np.ndarray] = None
+        for d in range(self.dims):
+            band = int(np.searchsorted(self._edges[d], point[d], side="right"))
+            row = self._bits[d][band]
+            acc = row if acc is None else acc & row
+        cand = np.nonzero(np.unpackbits(acc, count=self._built_cap))[0]
+        if self._delta:
+            cand = np.union1d(
+                cand, np.fromiter(self._delta, dtype=np.intp, count=len(self._delta))
+            )
+        if not len(cand):
+            return []
+        inside = (
+            self._active[cand]
+            & np.all(self._lows[cand] <= point, axis=1)
+            & np.all(point <= self._highs[cand], axis=1)
+        )
+        return [self._subids[i] for i in cand[np.nonzero(inside)[0]]]  # type: ignore[misc]
+
+
 def make_store(
     kind: str,
     dims: int,
@@ -138,11 +266,13 @@ def make_store(
     domain_highs=None,
     cells_per_dim: int = 16,
 ) -> BoxStore:
-    """Factory used by the system: ``linear`` (default) or ``grid``."""
+    """Factory used by the system: ``linear``, ``grid`` or ``bands``."""
     if kind == "linear":
         return BoxStore(dims)
     if kind == "grid":
         if domain_lows is None or domain_highs is None:
             raise ValueError("grid index needs the content-space bounds")
         return GridIndex(dims, domain_lows, domain_highs, cells_per_dim)
+    if kind == "bands":
+        return BandIndex(dims)
     raise ValueError(f"unknown matching index kind {kind!r}")

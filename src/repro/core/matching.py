@@ -42,6 +42,14 @@ class BoxStore:
     def __len__(self) -> int:
         return self._size
 
+    def index_size(self) -> int:
+        """Physical boxes held by the matching index.
+
+        Equal to ``len(self)`` for plain stores; the covering layer
+        overrides it (aggregates store many members behind one box).
+        """
+        return self._size
+
     def __contains__(self, subid: SubID) -> bool:
         return subid in self._slot_of
 
@@ -73,6 +81,13 @@ class BoxStore:
         highs = np.asarray(highs, dtype=np.float64)
         if lows.shape != (self.dims,) or highs.shape != (self.dims,):
             raise ValueError(f"box must have shape ({self.dims},)")
+        # NaN never compares True, so ``highs < lows`` alone would let a
+        # NaN box through: stored, it matches nothing yet poisons
+        # ``bounding_box``/``merge_box`` (min/max propagate NaN into the
+        # summary filter, killing the child-piece cascade).  ±inf stays
+        # legal -- unspecified dimensions are the full attribute domain.
+        if np.isnan(lows).any() or np.isnan(highs).any():
+            raise ValueError("box bounds must not contain NaN")
         if np.any(highs < lows):
             raise ValueError("box has negative extent")
         slot = self._slot_of.get(subid)
@@ -87,8 +102,17 @@ class BoxStore:
         self._lows[slot] = lows
         self._highs[slot] = highs
 
+    def _release_slot(self, slot: int) -> None:
+        """Index-maintenance hook run before a slot is tombstoned.
+
+        Subclasses with auxiliary structures (grid buckets, band
+        bitsets) override this; both :meth:`remove` and
+        :meth:`pop_matching` route through it.
+        """
+
     def remove(self, subid: SubID) -> None:
         slot = self._slot_of.pop(subid)
+        self._release_slot(slot)
         self._active[slot] = False
         self._subids[slot] = None
         self._free.append(slot)
@@ -98,14 +122,24 @@ class BoxStore:
         """Remove and return entries whose subid satisfies ``predicate``.
 
         Used by the load balancer to extract the subscriptions whose
-        subscribers fall in a migrated identifier arc.
+        subscribers fall in a migrated identifier arc.  Single pass over
+        the slot table: bounds are copied straight from the slot and the
+        entry is tombstoned in place, with no per-entry ``get_box`` /
+        ``remove`` dict re-resolution (that double lookup dominated
+        handoff cost at migration scale).
         """
-        picked = [sid for sid in self._slot_of if predicate(sid)]
+        picked = [
+            (sid, slot) for sid, slot in self._slot_of.items() if predicate(sid)
+        ]
         out = []
-        for sid in picked:
-            lows, highs = self.get_box(sid)
-            self.remove(sid)
-            out.append((sid, lows, highs))
+        for sid, slot in picked:
+            del self._slot_of[sid]
+            self._release_slot(slot)
+            self._active[slot] = False
+            self._subids[slot] = None
+            self._free.append(slot)
+            out.append((sid, self._lows[slot].copy(), self._highs[slot].copy()))
+        self._size -= len(picked)
         return out
 
     # ------------------------------------------------------------------
@@ -122,6 +156,24 @@ class BoxStore:
         )
         idx = np.nonzero(inside)[0]
         return [self._subids[i] for i in idx]  # type: ignore[misc]
+
+    def match_box(self, lows: np.ndarray, highs: np.ndarray) -> List[SubID]:
+        """All subids whose box intersects ``[lows, highs]`` (closed).
+
+        One vectorised overlap test; the covering layer uses it to find
+        fusion candidates (both containers and containees, which point
+        probes cannot discover).
+        """
+        if self._size == 0:
+            return []
+        lows = np.asarray(lows, dtype=np.float64)
+        highs = np.asarray(highs, dtype=np.float64)
+        inside = (
+            self._active
+            & np.all(self._lows <= highs, axis=1)
+            & np.all(lows <= self._highs, axis=1)
+        )
+        return [self._subids[i] for i in np.nonzero(inside)[0]]  # type: ignore[misc]
 
     def bounding_box(self) -> Optional[Tuple[np.ndarray, np.ndarray]]:
         """Smallest box covering every active entry, or ``None`` if empty."""

@@ -111,6 +111,7 @@ class PubSubNodeMixin:
     def _init_pubsub(self, system: "HyperSubSystem") -> None:
         self.system = system
         self._iid_counter = 0
+        self._marker_iid_counter = 1 << 48
         #: iid -> (entity_key, Subscription, zone) for the user's own subs
         self.own_subs: Dict[int, Tuple[str, Subscription, ContentZone]] = {}
         #: (entity_key, code, level) -> ZoneRepo
@@ -122,6 +123,8 @@ class PubSubNodeMixin:
         self.rendezvous_index: Dict[int, List[Tuple[str, int, int]]] = {}
         #: surrogate-subscription iid -> repo key it summarises
         self.marker_origin: Dict[int, Tuple[str, int, int]] = {}
+        #: repos with pending (coalesced) cascade flushes, covering mode
+        self._dirty_cascades: Dict[Tuple[str, int, int], ZoneRepo] = {}
         #: accepted-migration iid -> (scheme_name, BoxStore)
         self.migrated: Dict[int, Tuple[str, BoxStore]] = {}
         #: standby replicas of other primaries' zone repos
@@ -235,6 +238,19 @@ class PubSubNodeMixin:
         self._iid_counter += 1
         return self._iid_counter
 
+    def _next_marker_iid(self) -> int:
+        """Mint a surrogate-subscription iid from its own namespace.
+
+        Markers used to share ``_next_iid`` with real subscriptions,
+        which made a subscription's identity depend on how many markers
+        happened to be minted before it -- so any change in cascade
+        timing (e.g. covering's coalesced flushes) relabelled every
+        later subscription and broke digest comparisons across modes.
+        The high offset keeps the two sequences disjoint.
+        """
+        self._marker_iid_counter += 1
+        return self._marker_iid_counter
+
     # ------------------------------------------------------------------
     # Load (Section 4: "load on node is measured as the number of
     # subscriptions stored on the node")
@@ -325,6 +341,9 @@ class PubSubNodeMixin:
         traffic.  Simulated path: ``lookup()`` then a ``ps_register``
         packet, Algorithm 2 verbatim.
         """
+        stats = self.system.install_traffic.setdefault(kind, [0, 0])
+        stats[0] += 1
+        stats[1] += CONTROL_BYTES + subscription_wire_bytes(len(lows))
         key = entity.rotated_key(zone)
         if not self.system.config.simulate_install:
             home = self.system.node_at_home(key)
@@ -395,10 +414,16 @@ class PubSubNodeMixin:
         entity = self.system.entity(entity_key)
         zone = ContentZone(code, level, entity.geometry)
         repo = self._get_repo(entity, zone)
+        replaced = subid in repo.store
         repo.store.put(subid, lows, highs)
         repo.kinds[subid] = kind
         if self.system.config.replication_factor > 1:
             self._replicate(entity_key, code, level, subid, lows, highs, kind)
+        if replaced and self.system.config.summary_mode == "shrink":
+            # A surrogate-subscription update may *shrink* the box (the
+            # parent's filter tightened); recompute instead of merging.
+            self._refresh_summary(repo)
+            return
         new_sf, changed = merge_box(repo.sf, (lows, highs))
         repo.sf = new_sf
         if not changed or zone.is_leaf:
@@ -409,13 +434,118 @@ class PubSubNodeMixin:
             return
         zbox = entity.zone_box_projected(zone)
         pieces = child_pieces(zone, new_sf, zbox, entity.dims)
+        self._cascade_pieces(repo, entity, zone, pieces)
+
+    def _cascade_pieces(
+        self,
+        repo: ZoneRepo,
+        entity: PubSubEntity,
+        zone: ContentZone,
+        pieces: Dict[int, Tuple[np.ndarray, np.ndarray]],
+    ) -> None:
+        """Cascade the repo's child pieces (Algorithm 3, step 3).
+
+        Without covering the push is immediate: every filter change
+        re-dispatches the changed pieces down the chain.  With
+        ``covering`` the repo is marked dirty and coalesced instead --
+        one flush per ``filter_flush_ms`` window pushes ONE aggregate
+        surrogate subscription per child digit, absorbing every install
+        that landed in the window (see :meth:`_flush_cascade`).
+        """
+        if self.system.config.covering:
+            self._defer_cascade(repo)
+            return
+        self._push_pieces(repo, entity, zone, pieces)
+
+    def _defer_cascade(self, repo: ZoneRepo) -> None:
+        """Coalesce cascade work: dirty-mark the repo, flush later.
+
+        Re-cascading per install is the dominant surrogate-registration
+        cost -- a repo whose hull grows K times dispatches K marker
+        replacements per child digit, each of which re-dirties the whole
+        relay chain below it.  Batching to one flush per window makes
+        the install cost per (repo, digit) ~one registration, at the
+        price of a bounded filter-freshness lag (equivalent to the
+        install-propagation delay the network already imposes).
+        """
+        if repo.key in self._dirty_cascades:
+            return
+        self._dirty_cascades[repo.key] = repo
+        # Stagger flushes by zone level on a global slot grid: a repo's
+        # filter includes its parent's surrogate box, and the parent is
+        # one level shallower, so each sweep of the grid visits levels
+        # shallow-to-deep (level L flushes only at slots congruent to
+        # its cascade depth).  Every parent wave therefore lands
+        # strictly before the child's flush of the same sweep -- one
+        # deep flush absorbs both the repo's own installs and the whole
+        # relay chain's markers (without the stagger, mid-chain repos
+        # push once per upstream hop instead of once per sweep).
+        cfg = self.system.config
+        w = cfg.filter_flush_ms
+        zone = repo.zone
+        depth = max(1, zone.level - cfg.direct_rendezvous_levels + 1)
+        period = max(depth, zone.geometry.max_level - cfg.direct_rendezvous_levels + 1)
+        slot = int(self.sim.now // w)
+        ahead = (depth - slot - 1) % period + 1  # next slot ≡ depth (mod period)
+        self.sim.schedule_at((slot + ahead) * w, self._flush_cascade, repo.key)
+
+    def _flush_cascade(self, repo_key: Tuple[str, int, int]) -> None:
+        """Recompute and push the dirty repo's pieces from its current sf."""
+        repo = self._dirty_cascades.pop(repo_key, None)
+        if repo is None or not self._alive:
+            return
+        if self.zone_repos.get(repo_key) is not repo:
+            return  # migrated away while dirty; the importer re-derives
+        entity = self.system.entity(repo.entity_key)
+        zone = repo.zone
+        if repo.sf is None:
+            pieces: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+        else:
+            zbox = entity.zone_box_projected(zone)
+            pieces = child_pieces(zone, repo.sf, zbox, entity.dims)
+        self._push_pieces(repo, entity, zone, pieces)
+
+    def _push_pieces(
+        self,
+        repo: ZoneRepo,
+        entity: PubSubEntity,
+        zone: ContentZone,
+        pieces: Dict[int, Tuple[np.ndarray, np.ndarray]],
+    ) -> None:
+        """Dispatch the given child pieces as surrogate subscriptions.
+
+        Each digit's piece is compared against the last push: unchanged
+        pieces cost nothing, changed ones *replace* the child's marker
+        box under the same stable iid (no re-cascade per install), and
+        digits whose piece vanished (shrink mode) withdraw the marker.
+        With covering, a piece still inside the last pushed box is also
+        skipped -- the installed surrogate over-approximates and only
+        adds false-positive event forwards, never deliveries.
+        """
+        covering = self.system.config.covering
+        for digit in [d for d in repo.pushed if d not in pieces]:
+            # The filter no longer reaches this child: withdraw the
+            # surrogate subscription (grow-only mode never gets here --
+            # pieces only ever gain digits).  The iid stays minted so a
+            # later re-push reuses it (marker_origin stays resolvable).
+            del repo.pushed[digit]
+            marker_iid = repo.marker_iids.get(digit)
+            if marker_iid is not None:
+                self._dispatch_unregister(
+                    entity, zone.child(digit), SubID(self.node_id, marker_iid)
+                )
         for digit, piece in pieces.items():
-            if boxes_equal(repo.pushed.get(digit), piece):
+            prev = repo.pushed.get(digit)
+            if boxes_equal(prev, piece):
                 continue
+            if covering and prev is not None and bool(
+                np.all(prev[0] <= piece[0]) and np.all(piece[1] <= prev[1])
+            ):
+                continue  # still covered by the installed surrogate
             repo.pushed[digit] = piece
             marker_iid = repo.marker_iids.get(digit)
             if marker_iid is None:
-                marker_iid = self._next_iid()
+                marker_iid = self._next_marker_iid()
                 repo.marker_iids[digit] = marker_iid
                 self.marker_origin[marker_iid] = repo.key
                 if self.system.config.replication_factor > 1:
@@ -435,6 +565,68 @@ class PubSubNodeMixin:
                 piece[1],
                 "marker",
             )
+
+    def _refresh_summary(self, repo: ZoneRepo) -> None:
+        """Recompute a tight summary filter and propagate shrinks.
+
+        ``summary_mode="shrink"`` only: after a removal (unsubscribe,
+        migration swap) or a surrogate-subscription replacement, the
+        bounding box over the repo's live entries is the exact tight
+        filter; when it changed, the child pieces are re-derived and the
+        cascade re-pushed -- children whose piece shrank run the same
+        recomputation on *their* repos, so shrinks propagate to the
+        leaves.  Correctness: the recomputed sf still covers every live
+        box by construction, so a shrink can only remove false-positive
+        cascade hops, never a delivery (the property tests assert both).
+        """
+        if self.system.config.summary_mode != "shrink":
+            return
+        tight = repo.store.bounding_box()
+        if boxes_equal(repo.sf, tight):
+            return
+        repo.sf = tight
+        zone = repo.zone
+        if zone.is_leaf or zone.level < self.system.config.direct_rendezvous_levels:
+            return
+        entity = self.system.entity(repo.entity_key)
+        if tight is None:
+            pieces: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+        else:
+            zbox = entity.zone_box_projected(zone)
+            pieces = child_pieces(zone, tight, zbox, entity.dims)
+        self._cascade_pieces(repo, entity, zone, pieces)
+
+    def _dispatch_unregister(
+        self, entity: PubSubEntity, zone: ContentZone, subid: SubID
+    ) -> None:
+        """Withdraw a registration from the zone's surrogate node
+        (mirror of :meth:`_dispatch_register`, both install paths)."""
+        stats = self.system.install_traffic.setdefault("unregister", [0, 0])
+        stats[0] += 1
+        stats[1] += CONTROL_BYTES + SUBID_BYTES
+        key = entity.rotated_key(zone)
+        if not self.system.config.simulate_install:
+            home = self.system.node_at_home(key)
+            home._unregister_local(entity.key, zone.code, zone.level, subid)
+            return
+        payload = {
+            "entity": entity.key,
+            "code": zone.code,
+            "level": zone.level,
+            "subid": (subid.nid, subid.iid),
+        }
+        self.lookup(
+            key,
+            lambda res: self.send(
+                Message(
+                    src=self.addr,
+                    dst=res.home_addr,
+                    kind="ps_unregister",
+                    payload=payload,
+                    size_bytes=CONTROL_BYTES + SUBID_BYTES,
+                )
+            ),
+        )
 
     # ------------------------------------------------------------------
     # Replication extension: standby copies on the successor list
@@ -1129,7 +1321,10 @@ class PubSubNodeMixin:
             return  # stale (e.g. the copy was migrated away)
         repo.store.remove(subid)
         repo.kinds.pop(subid, None)
-        # Summary filters never shrink (conservative over-approximation).
+        # Grow-only mode: summary filters never shrink (conservative
+        # over-approximation).  Shrink mode recomputes the tight filter
+        # and propagates the change down the cascade.
+        self._refresh_summary(repo)
 
     # ------------------------------------------------------------------
     # Algorithms 4 & 5: publish and deliver
@@ -2635,6 +2830,9 @@ class PubSubNodeMixin:
                 np.asarray(ack["highs"], dtype=np.float64),
             )
             repo.kinds[marker] = "migr"
+            # The migration marker's bounding box may be tighter than
+            # the departed subscriptions' contribution to the filter.
+            self._refresh_summary(repo)
 
 
 class HyperSubChordNode(PubSubNodeMixin, ChordNode):

@@ -259,6 +259,13 @@ class HyperSubSystem:
         self._shallow_occupied: set = set()
         #: optional application callback: fn(addr, event_id, subid)
         self.on_deliver: Optional[Callable[[int, int, SubID], None]] = None
+        #: registration traffic by provenance kind ("sub"/"marker"/...):
+        #: kind -> [dispatched registrations, wire bytes].  Counted in
+        #: ``_dispatch_register``/``_dispatch_unregister`` on both the
+        #: fast and the simulated install path, so summary-filter
+        #: bytes-on-the-wire are measurable even when installation does
+        #: not ride simulated messages (bench fig3 micro).
+        self.install_traffic: Dict[str, List[int]] = {}
         #: causal-mode sequencer addresses, pinned per scheme (delivery-
         #: guarantees extension): ring changes must not move a sequencer
         #: mid-run or its per-publisher watermarks would fork.
@@ -698,16 +705,44 @@ class HyperSubSystem:
         return InvariantChecker(**kwargs).check(self)
 
     def make_store(self, entity: PubSubEntity):
-        """Subscription store for one zone repo, per ``matching_index``."""
+        """Subscription store for one zone repo, per ``matching_index``.
+
+        ``matching_cells`` sets the grid resolution; with ``covering``
+        on, the index is wrapped in a :class:`~repro.core.covering.
+        CoveringStore` so near-identical registrations share one
+        physical aggregate box (docs/MATCHING.md).
+        """
         from repro.core.indexing import make_store
 
         scheme = entity.scheme
-        return make_store(
+        store = make_store(
             self.config.matching_index,
             scheme.dimensions,
             domain_lows=scheme.domain_lows(),
             domain_highs=scheme.domain_highs(),
+            cells_per_dim=self.config.matching_cells,
         )
+        if self.config.covering:
+            from repro.core.covering import CoveringStore
+
+            store = CoveringStore(store, self.config.merge_max_waste)
+        return store
+
+    def covering_stats(self) -> Dict[str, int]:
+        """Aggregation effectiveness across every live zone repository.
+
+        ``entries`` counts registered subscriptions (real + surrogate +
+        migration markers); ``boxes`` counts the physical boxes the
+        matching indexes actually hold.  Without covering the two are
+        equal; with covering, ``entries / boxes`` is the aggregation
+        ratio the matching-smoke CI gate asserts.
+        """
+        entries = boxes = 0
+        for node in self.nodes:
+            for repo in node.zone_repos.values():
+                entries += len(repo.store)
+                boxes += repo.store.index_size()
+        return {"entries": entries, "boxes": boxes}
 
     def mark_shallow_occupied(self, repo_key: Tuple[str, int, int]) -> None:
         self._shallow_occupied.add(repo_key)

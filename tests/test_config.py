@@ -127,3 +127,42 @@ class TestGuaranteeKnobs:
         with pytest.raises(ValueError):
             HyperSubConfig(durable_rejoin_grace_ms=-1.0)
         HyperSubConfig(durable_rejoin_grace_ms=0.0)  # grace may be off
+
+
+class TestMatchingKnobs:
+    def test_defaults(self):
+        cfg = HyperSubConfig()
+        assert cfg.matching_index == "linear"
+        assert cfg.matching_cells == 16
+        assert not cfg.covering
+        assert cfg.merge_max_waste == 0.5
+        assert cfg.filter_flush_ms == 100.0
+        assert cfg.summary_mode == "shrink"
+
+    def test_unknown_matching_index(self):
+        with pytest.raises(ValueError, match="matching_index"):
+            HyperSubConfig(matching_index="rtree")
+        for kind in ("linear", "grid", "bands"):
+            HyperSubConfig(matching_index=kind)
+
+    def test_matching_cells_bounds(self):
+        with pytest.raises(ValueError, match="matching_cells"):
+            HyperSubConfig(matching_cells=0)
+        with pytest.raises(ValueError, match="matching_cells"):
+            HyperSubConfig(matching_cells=4097)
+        HyperSubConfig(matching_cells=1)
+        HyperSubConfig(matching_cells=4096)
+
+    def test_merge_max_waste_non_negative(self):
+        with pytest.raises(ValueError, match="merge_max_waste"):
+            HyperSubConfig(merge_max_waste=-0.01)
+        HyperSubConfig(merge_max_waste=0.0)  # exact covering only
+
+    def test_filter_flush_positive(self):
+        with pytest.raises(ValueError, match="filter_flush_ms"):
+            HyperSubConfig(filter_flush_ms=0.0)
+
+    def test_unknown_summary_mode(self):
+        with pytest.raises(ValueError, match="summary_mode"):
+            HyperSubConfig(summary_mode="never")
+        HyperSubConfig(summary_mode="grow-only")

@@ -1,11 +1,12 @@
-"""Tests for the grid matching index (equivalence with the linear store)."""
+"""Tests for the grid and band matching indexes (equivalence with the
+linear store)."""
 
 import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.indexing import GridIndex, make_store
+from repro.core.indexing import BandIndex, GridIndex, make_store
 from repro.core.matching import BoxStore
 from repro.core.subscription import SubID
 
@@ -67,10 +68,59 @@ class TestBasics:
         assert g.match_point(np.array([100.0, 100.0, 50.0]))
 
 
+class TestBands:
+    def test_unbounded_dimensions(self):
+        b = BandIndex(2)
+        b.put(SubID(1, 1), np.array([-np.inf, 0.0]), np.array([np.inf, 10.0]))
+        b.put(SubID(2, 1), np.array([0.0, -np.inf]), np.array([5.0, np.inf]))
+        hits = sorted(s.nid for s in b.match_point(np.array([1.0, 1.0])))
+        assert hits == [1, 2]
+        assert [s.nid for s in b.match_point(np.array([50.0, 5.0]))] == [1]
+
+    def test_churn_rebuild_consistency(self):
+        # Enough mutations to push the index through its lazy-rebuild
+        # and delta-scan phases repeatedly; answers must track linear.
+        rng = np.random.default_rng(2)
+        linear, bands = BoxStore(3), BandIndex(3)
+        live = []
+        for i in range(600):
+            if live and rng.random() < 0.35:
+                sid = live.pop(int(rng.integers(len(live))))
+                linear.remove(sid)
+                bands.remove(sid)
+            else:
+                sid = SubID(int(rng.integers(1000)), i)
+                lo = rng.uniform(0, 90, 3)
+                hi = lo + rng.uniform(0, 20, 3)
+                linear.put(sid, lo, hi)
+                bands.put(sid, lo, hi)
+                live.append(sid)
+            if i % 7 == 0:
+                p = rng.uniform(0, 100, 3)
+                key = lambda s: (s.nid, s.iid)  # noqa: E731
+                assert sorted(bands.match_point(p), key=key) == sorted(
+                    linear.match_point(p), key=key
+                )
+        assert len(bands) == len(linear)
+
+    def test_pop_matching_keeps_index_consistent(self):
+        b = BandIndex(2)
+        for i in range(40):
+            b.put(SubID(i, 1), np.array([i, 0.0]), np.array([i + 0.5, 1.0]))
+        popped = b.pop_matching(lambda sid: sid.nid % 2 == 0)
+        assert len(popped) == 20
+        assert not b.match_point(np.array([10.2, 0.5]))
+        assert b.match_point(np.array([11.2, 0.5]))
+
+
 class TestFactory:
     def test_linear(self):
         s = make_store("linear", 4)
         assert type(s) is BoxStore
+
+    def test_bands(self):
+        s = make_store("bands", 3)
+        assert isinstance(s, BandIndex)
 
     def test_grid(self):
         s = make_store("grid", 3, DOM_LO, DOM_HI)
@@ -86,7 +136,7 @@ class TestFactory:
 
 
 # ----------------------------------------------------------------------
-# Property: GridIndex === BoxStore under any operation sequence
+# Property: every index kind === BoxStore under any operation sequence
 # ----------------------------------------------------------------------
 coord = st.floats(0, 100, allow_nan=False, width=32).map(float)
 ops = st.lists(
@@ -106,11 +156,12 @@ ops = st.lists(
 )
 
 
+@pytest.mark.parametrize("kind", ["grid", "bands"])
 @given(operations=ops)
-@settings(max_examples=200)
-def test_grid_equals_linear_under_any_sequence(operations):
+@settings(max_examples=200, deadline=None)
+def test_index_equals_linear_under_any_sequence(kind, operations):
     linear = BoxStore(3)
-    indexed = grid(cells=5)
+    indexed = grid(cells=5) if kind == "grid" else BandIndex(3)
     for op in operations:
         if op[0] == "put":
             _tag, key, xs, ys, zs = op

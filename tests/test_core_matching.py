@@ -97,6 +97,24 @@ class TestBasics:
         lo, hi = s.bounding_box()
         assert hi[0] == 1
 
+    def test_nan_bounds_rejected(self):
+        # NaN never compares True: a NaN box would match nothing while
+        # poisoning the summary filter -- rejection must be by name.
+        s = BoxStore(2)
+        with pytest.raises(ValueError, match="NaN"):
+            s.put(SubID(1, 1), *box([0, np.nan], [1, 1]))
+        with pytest.raises(ValueError, match="NaN"):
+            s.put(SubID(1, 1), *box([0, 0], [1, np.nan]))
+        assert len(s) == 0
+        assert s.bounding_box() is None
+
+    def test_infinite_bounds_stay_legal(self):
+        # ±inf means "unspecified dimension" -- the whole domain.
+        s = BoxStore(2)
+        s.put(SubID(1, 1), *box([-np.inf, 0], [np.inf, 1]))
+        assert s.match_point(np.array([1e18, 0.5]))
+        assert not s.match_point(np.array([0.0, 2.0]))
+
     def test_pop_matching(self):
         s = BoxStore(1)
         for i in range(10):
@@ -105,6 +123,30 @@ class TestBasics:
         assert len(popped) == 5
         assert len(s) == 5
         assert all(sid.nid >= 5 for sid in s.subids())
+        # The single pass must hand back the true bounds and release
+        # the slots for reuse.
+        assert sorted((sid.nid, lo[0], hi[0]) for sid, lo, hi in popped) == [
+            (i, float(i), float(i + 1)) for i in range(5)
+        ]
+        s.put(SubID(99, 1), *box([50], [51]))
+        assert s.match_point(np.array([50.5]))
+
+    def test_index_size_equals_len_for_plain_store(self):
+        s = BoxStore(1)
+        s.put(SubID(1, 1), *box([0], [1]))
+        s.put(SubID(2, 1), *box([2], [3]))
+        assert s.index_size() == len(s) == 2
+
+    def test_match_box(self):
+        s = BoxStore(2)
+        s.put(SubID(1, 1), *box([0, 0], [10, 10]))
+        s.put(SubID(2, 1), *box([20, 20], [30, 30]))
+        hits = [x.nid for x in s.match_box(np.array([9.0, 9.0]), np.array([15.0, 15.0]))]
+        assert hits == [1]
+        # Closed intervals: touching edges overlap.
+        hits = [x.nid for x in s.match_box(np.array([10.0, 10.0]), np.array([20.0, 20.0]))]
+        assert sorted(hits) == [1, 2]
+        assert s.match_box(np.array([11.0, 11.0]), np.array([19.0, 19.0])) == []
 
 
 # ----------------------------------------------------------------------
@@ -148,4 +190,33 @@ def test_match_equals_bruteforce(data, point, removals):
         key=lambda s: (s.nid, s.iid),
     )
     got = sorted(store.match_point(p), key=lambda s: (s.nid, s.iid))
+    assert got == expected
+
+
+@given(
+    data=entries,
+    qa=st.lists(st.floats(0, 100, allow_nan=False), min_size=2, max_size=2),
+    qb=st.lists(st.floats(0, 100, allow_nan=False), min_size=2, max_size=2),
+)
+@settings(max_examples=200)
+def test_match_box_equals_bruteforce(data, qa, qb):
+    store = BoxStore(2)
+    reference = {}
+    for i, (nid, a, b) in enumerate(data):
+        lo = np.minimum(a, b)
+        hi = np.maximum(a, b)
+        sid = SubID(nid, i)
+        store.put(sid, lo, hi)
+        reference[sid] = (lo, hi)
+    qlo = np.minimum(qa, qb)
+    qhi = np.maximum(qa, qb)
+    expected = sorted(
+        (
+            sid
+            for sid, (lo, hi) in reference.items()
+            if np.all(lo <= qhi) and np.all(qlo <= hi)
+        ),
+        key=lambda s: (s.nid, s.iid),
+    )
+    got = sorted(store.match_box(qlo, qhi), key=lambda s: (s.nid, s.iid))
     assert got == expected
